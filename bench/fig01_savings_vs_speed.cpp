@@ -1,0 +1,55 @@
+// Figure 1: compression savings vs decompression speed (time-to-last-byte)
+// for the four lossless JPEG recompressors. Paper: Lepton ~23% savings at
+// the highest decode speed; PackJPG matches the ratio but decodes >9x
+// slower; MozJPEG-arithmetic ~12%; JPEGrescan-progressive ~8%. Diamonds in
+// the paper are p25/p50/p75 across 200k JPEGs; we print the same three
+// percentiles over the corpus.
+#include "baselines/arith_jpeg.h"
+#include "baselines/lepton_codec.h"
+#include "baselines/packjpg_like.h"
+#include "baselines/rescan_like.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  bool full = bench::want_full(argc, argv);
+  bench::header("Figure 1: savings vs decompression speed",
+                "lepton ~23%/fastest; packjpg ~23%/9x slower; "
+                "mozjpeg-arith ~12%; jpegrescan ~8%");
+
+  std::vector<std::unique_ptr<lepton::baselines::Codec>> codecs;
+  codecs.push_back(
+      std::make_unique<lepton::baselines::LeptonCodecAdapter>(false));
+  codecs.push_back(
+      std::make_unique<lepton::baselines::PackJpgLikeCodec>(false));
+  codecs.push_back(std::make_unique<lepton::baselines::ArithJpegCodec>());
+  codecs.push_back(std::make_unique<lepton::baselines::RescanLikeCodec>());
+
+  std::printf("%-20s %26s %32s\n", "codec", "savings %% (p25/p50/p75)",
+              "decode Mbit/s (p25/p50/p75)");
+  for (auto& codec : codecs) {
+    lepton::util::Percentiles savings, speed;
+    for (const auto& f : bench::corpus(full)) {
+      if (f.kind != lepton::corpus::FileKind::kBaselineJpeg) continue;
+      auto enc = codec->encode({f.bytes.data(), f.bytes.size()});
+      if (!enc.ok()) continue;
+      savings.add(100.0 * (1.0 - static_cast<double>(enc.data.size()) /
+                                     f.bytes.size()));
+      lepton::baselines::CodecResult dec;
+      double secs = bench::time_s([&] {
+        dec = codec->decode({enc.data.data(), enc.data.size()});
+      });
+      if (dec.ok() && dec.data == f.bytes) {
+        speed.add(bench::mbits(f.bytes.size()) / secs);
+      }
+    }
+    std::printf("%-20s %8.1f /%6.1f /%6.1f  %12.1f /%8.1f /%8.1f\n",
+                codec->name().c_str(), savings.percentile(25),
+                savings.percentile(50), savings.percentile(75),
+                speed.percentile(25), speed.percentile(50),
+                speed.percentile(75));
+  }
+  std::printf(
+      "\nshape check: lepton savings ≈ packjpg savings; lepton decode speed "
+      ">> packjpg; arith > rescan on savings\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 4 (table): compression breakdown by JPEG file component.
+// Paper values (original-byte share / compression ratio / bytes saved):
+//   Header  2.3% / 47.6% / 1.0%
+//   7x7 AC 49.7% / 80.2% / 9.8%
+//   7x1+1x7 39.8% / 78.7% / 8.6%
+//   DC      8.2% / 59.9% / 3.4%
+//   Total   100% / 77.3% / 22.7%
+#include "bench_common.h"
+#include "lepton/codec.h"
+
+int main(int argc, char** argv) {
+  bool full = bench::want_full(argc, argv);
+  bench::header("Figure 4: compression ratio by component",
+                "header 47.6%, 7x7 80.2%, edges 78.7%, DC 59.9%, total 77.3%");
+
+  lepton::ComponentBreakdown total{};
+  std::uint64_t files = 0;
+  for (const auto& f : bench::corpus(full)) {
+    if (f.kind != lepton::corpus::FileKind::kBaselineJpeg) continue;
+    lepton::ComponentBreakdown b{};
+    auto r = lepton::encode_jpeg_with_breakdown({f.bytes.data(), f.bytes.size()},
+                                                {}, &b);
+    if (!r.ok()) continue;
+    total.header_in += b.header_in;
+    total.header_out += b.header_out;
+    total.dc_in_bits += b.dc_in_bits;
+    total.dc_out_bits += b.dc_out_bits;
+    total.ac77_in_bits += b.ac77_in_bits;
+    total.ac77_out_bits += b.ac77_out_bits;
+    total.edge_in_bits += b.edge_in_bits;
+    total.edge_out_bits += b.edge_out_bits;
+    ++files;
+  }
+
+  double hdr_in = static_cast<double>(total.header_in);
+  double dc_in = total.dc_in_bits / 8.0;
+  double a77_in = total.ac77_in_bits / 8.0;
+  double edge_in = total.edge_in_bits / 8.0;
+  double all_in = hdr_in + dc_in + a77_in + edge_in;
+  double hdr_out = static_cast<double>(total.header_out);
+  double dc_out = total.dc_out_bits / 8.0;
+  double a77_out = total.ac77_out_bits / 8.0;
+  double edge_out = total.edge_out_bits / 8.0;
+  double all_out = hdr_out + dc_out + a77_out + edge_out;
+
+  std::printf("files: %llu\n", static_cast<unsigned long long>(files));
+  std::printf("%-12s %14s %14s %14s   (paper ratio)\n", "category",
+              "orig share %", "ratio %", "saved %");
+  auto row = [&](const char* name, double in, double out, double paper) {
+    std::printf("%-12s %13.1f%% %13.1f%% %13.1f%%   (%.1f%%)\n", name,
+                100.0 * in / all_in, 100.0 * out / in,
+                100.0 * (in - out) / all_in, paper);
+  };
+  row("Header", hdr_in, hdr_out, 47.6);
+  row("7x7 AC", a77_in, a77_out, 80.2);
+  row("7x1/1x7", edge_in, edge_out, 78.7);
+  row("DC", dc_in, dc_out, 59.9);
+  row("Total", all_in, all_out, 77.3);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 7: decompression speed vs input file size at 1/2/4/8 threads.
+// Paper: speed grows with thread count (the Huffman handover words allow
+// fully parallel decode, §3.4), with visible cutoffs where the production
+// size policy switches thread counts.
+#include "bench_common.h"
+#include "corpus/corpus.h"
+#include "lepton/codec.h"
+
+int main(int argc, char** argv) {
+  bool full = bench::want_full(argc, argv);
+  bench::header("Figure 7: decode Mbit/s vs size, by thread count",
+                "more threads = faster decode; handover words remove the "
+                "serial bottleneck");
+
+  std::vector<std::size_t> sizes = full
+      ? std::vector<std::size_t>{100u << 10, 400u << 10, 1u << 20, 2u << 20,
+                                 4u << 20}
+      : std::vector<std::size_t>{48u << 10, 96u << 10, 192u << 10,
+                                 384u << 10};
+  std::printf("%12s %12s %12s %12s %12s\n", "size KiB", "1 thread",
+              "2 threads", "4 threads", "8 threads");
+  int reps = full ? 1 : 3;
+  for (std::size_t target : sizes) {
+    auto jpeg = lepton::corpus::jpeg_of_size(target, 7000 + target);
+    std::printf("%12.1f", jpeg.size() / 1024.0);
+    for (int threads : {1, 2, 4, 8}) {
+      lepton::EncodeOptions opt;
+      opt.force_threads = threads;
+      auto enc = lepton::encode_jpeg({jpeg.data(), jpeg.size()}, opt);
+      if (!enc.ok()) {
+        std::printf("%12s", "-");
+        continue;
+      }
+      double best = 0;
+      for (int r = 0; r < reps; ++r) {
+        lepton::Result dec;
+        double secs = bench::time_s(
+            [&] { dec = lepton::decode_lepton({enc.data.data(),
+                                               enc.data.size()}); });
+        if (dec.ok()) best = std::max(best, bench::mbits(jpeg.size()) / secs);
+      }
+      std::printf("%12.1f", best);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

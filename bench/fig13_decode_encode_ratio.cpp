@@ -1,0 +1,22 @@
+// Figure 13: decode:encode ratio on the serving path during the 2016
+// rollout ("boiling the frog", §6.4). Paper: the ratio starts near zero
+// (all stored photos were still Deflate) and climbs toward 1.5-2.0 as the
+// Lepton-compressed fraction of the store and its download traffic grow —
+// quietly multiplying decode hardware needs.
+#include "bench_common.h"
+#include "storage/rollout.h"
+
+int main() {
+  bench::header("Figure 13: decode:encode ratio during rollout",
+                "climbs from ~0 to ~1.5-2.0 over the first months");
+  lepton::storage::RolloutConfig cfg;
+  auto series = lepton::storage::simulate_rollout(cfg);
+  std::printf("%6s %14s %14s %8s %16s\n", "day", "decodes/s", "encodes/s",
+              "ratio", "lepton fraction");
+  for (std::size_t i = 0; i < series.size(); i += 5) {
+    const auto& s = series[i];
+    std::printf("%6.0f %14.2f %14.2f %8.2f %15.4f%%\n", s.day, s.decode_rate,
+                s.encode_rate, s.ratio, 100 * s.lepton_fraction);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 14: decode timing percentiles from the April roll-out until the
+// outsourcing system shipped. Paper: p99 grows from tens of milliseconds to
+// multi-second territory as decode traffic builds against fixed capacity;
+// the median barely moves.
+#include "bench_common.h"
+#include "storage/rollout.h"
+
+int main() {
+  bench::header("Figure 14: decode latency percentiles over the rollout",
+                "p99 creeps into seconds before outsourcing; p50 stays low");
+  lepton::storage::RolloutConfig cfg;
+  auto series = lepton::storage::simulate_rollout(cfg);
+  std::printf("%6s %8s %8s %8s %8s\n", "day", "p50 s", "p75 s", "p95 s",
+              "p99 s");
+  for (std::size_t i = 0; i < series.size(); i += 5) {
+    const auto& s = series[i];
+    std::printf("%6.0f %8.3f %8.3f %8.3f %8.3f\n", s.day, s.p50, s.p75, s.p95,
+                s.p99);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Google-benchmark microbenchmarks of the performance-critical primitives:
+// the range coder (the decode inner loop, §3.2), adaptive-branch updates,
+// Huffman scan encode/decode (the §5.4 serial encoder bottleneck), the
+// integer IDCT behind DC prediction, and MD5 (the §5.7 admit path).
+#include <benchmark/benchmark.h>
+
+#include "coding/bool_coder.h"
+#include "coding/branch.h"
+#include "corpus/corpus.h"
+#include "jpeg/dct.h"
+#include "jpeg/parser.h"
+#include "jpeg/scan_decoder.h"
+#include "jpeg/scan_encoder.h"
+#include "util/md5.h"
+#include "util/rng.h"
+
+namespace {
+
+void BM_BoolCoderEncode(benchmark::State& state) {
+  lepton::util::Rng rng(1);
+  std::vector<bool> bits(1 << 16);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.chance(0.3);
+  for (auto _ : state) {
+    lepton::coding::BoolEncoder enc;
+    for (bool b : bits) enc.put(b, 179);
+    benchmark::DoNotOptimize(enc.finish());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bits.size()));
+}
+BENCHMARK(BM_BoolCoderEncode);
+
+void BM_BoolCoderDecode(benchmark::State& state) {
+  lepton::util::Rng rng(1);
+  lepton::coding::BoolEncoder enc;
+  const int n = 1 << 16;
+  for (int i = 0; i < n; ++i) enc.put(rng.chance(0.3), 179);
+  auto data = enc.finish();
+  for (auto _ : state) {
+    lepton::coding::BoolDecoder dec({data.data(), data.size()});
+    for (int i = 0; i < n; ++i) benchmark::DoNotOptimize(dec.get(179));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BoolCoderDecode);
+
+void BM_BranchAdapt(benchmark::State& state) {
+  lepton::coding::Branch b;
+  int i = 0;
+  for (auto _ : state) {
+    b.record((++i & 3) == 0);
+    benchmark::DoNotOptimize(b.prob_zero());
+  }
+}
+BENCHMARK(BM_BranchAdapt);
+
+const std::vector<std::uint8_t>& sample_jpeg() {
+  static auto jpeg = lepton::corpus::jpeg_of_size(96 << 10, 4242);
+  return jpeg;
+}
+
+void BM_JpegScanDecode(benchmark::State& state) {
+  auto& jpeg = sample_jpeg();
+  auto jf = lepton::jpegfmt::parse_jpeg({jpeg.data(), jpeg.size()});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lepton::jpegfmt::decode_scan(jf));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jpeg.size()));
+}
+BENCHMARK(BM_JpegScanDecode);
+
+void BM_JpegScanEncode(benchmark::State& state) {
+  auto& jpeg = sample_jpeg();
+  auto jf = lepton::jpegfmt::parse_jpeg({jpeg.data(), jpeg.size()});
+  auto dec = lepton::jpegfmt::decode_scan(jf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lepton::jpegfmt::reconstruct_scan(jf, dec));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(jpeg.size()));
+}
+BENCHMARK(BM_JpegScanEncode);
+
+void BM_IdctScaled(benchmark::State& state) {
+  lepton::util::Rng rng(2);
+  std::int32_t coef[64], out[64];
+  for (auto& c : coef) c = static_cast<std::int32_t>(rng.range(-512, 512));
+  for (auto _ : state) {
+    lepton::jpegfmt::idct_8x8_scaled(coef, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+BENCHMARK(BM_IdctScaled);
+
+void BM_Md5(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1 << 20);
+  lepton::util::Rng rng(3);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lepton::util::Md5::digest({data.data(), data.size()}));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Md5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

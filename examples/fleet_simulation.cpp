@@ -1,0 +1,40 @@
+// Deployment scenario (§5.5): evaluate outsourcing strategies for an
+// oversubscribed blockserver fleet before rolling them out — the experiment
+// behind Figures 9 and 10, runnable as one command.
+#include <cstdio>
+
+#include "storage/fleet.h"
+
+using namespace lepton::storage;
+
+int main() {
+  WorkloadModel wl;
+  wl.peak_encode_rate = 128.0;  // ≈8 conversions/s per blockserver at peak
+
+  std::printf("simulating 16 blockservers + 4 dedicated, 6h around peak\n\n");
+  std::printf("%-14s %10s %12s %12s %12s %12s\n", "policy", "conv", "outsrc%",
+              "p50 s", "p95 s", "p99 s");
+  for (auto policy : {OutsourcePolicy::kControl, OutsourcePolicy::kToSelf,
+                      OutsourcePolicy::kToDedicated}) {
+    FleetConfig cfg;
+    cfg.blockservers = 16;
+    cfg.dedicated = 4;
+    cfg.policy = policy;
+    cfg.sim_start_hour = 14.0;
+    auto m = simulate_fleet(cfg, wl, 0.25);
+    const char* name = policy == OutsourcePolicy::kControl
+                           ? "control"
+                           : (policy == OutsourcePolicy::kToSelf
+                                  ? "to-self"
+                                  : "to-dedicated");
+    std::printf("%-14s %10llu %11.1f%% %12.3f %12.3f %12.3f\n", name,
+                static_cast<unsigned long long>(m.conversions),
+                100.0 * m.outsourced / std::max<std::uint64_t>(1, m.conversions),
+                m.latency_all.percentile(50), m.latency_all.percentile(95),
+                m.latency_all.percentile(99));
+  }
+  std::printf("\npaper's verdict (§5.5.1): outsourcing halves the peak p99; "
+              "the dedicated cluster wins at peak, to-self also lowers the "
+              "median by removing hotspots\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Photo-archive scenario: what a blockserver does all day (§5.7).
+//
+// A mixed batch of user files — valid photos, progressive JPEGs, corrupted
+// tails, screenshots-of-nothing — flows through the TransparentStore admit
+// path: Lepton with a mandatory round-trip gate, Deflate for everything
+// else, md5 over every stored payload, and a §6.2-style exit-code tally at
+// the end. Every stored object is then retrieved and verified.
+#include <array>
+#include <cstdio>
+
+#include "corpus/corpus.h"
+#include "lepton/lepton.h"
+
+int main() {
+  // A small archive: 16 photos plus the production anomaly mix.
+  lepton::corpus::CorpusOptions copts;
+  copts.valid_files = 16;
+  copts.min_bytes = 24 << 10;
+  copts.max_bytes = 160 << 10;
+  auto archive = lepton::corpus::build_corpus(copts);
+  std::printf("archive: %zu files\n", archive.size());
+
+  lepton::TransparentStore store;
+  std::array<std::uint64_t,
+             static_cast<std::size_t>(lepton::util::ExitCode::kCount)>
+      codes{};
+  std::uint64_t bytes_in = 0, bytes_out = 0, lepton_admits = 0;
+  std::vector<std::pair<lepton::StoredObject, const lepton::corpus::CorpusFile*>>
+      stored;
+
+  for (const auto& f : archive) {
+    lepton::PutStats stats;
+    auto obj = store.put({f.bytes.data(), f.bytes.size()}, &stats);
+    bytes_in += stats.bytes_in;
+    bytes_out += stats.bytes_out;
+    if (obj.kind == lepton::StorageKind::kLepton) ++lepton_admits;
+    ++codes[static_cast<std::size_t>(stats.lepton_code)];
+    stored.emplace_back(std::move(obj), &f);
+  }
+
+  std::printf("\nadmit outcomes (the §6.2 taxonomy):\n");
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] == 0) continue;
+    std::printf("  %-24s %llu\n",
+                std::string(lepton::util::exit_code_name(
+                                static_cast<lepton::util::ExitCode>(i)))
+                    .c_str(),
+                static_cast<unsigned long long>(codes[i]));
+  }
+  std::printf("\n%llu/%zu admitted as Lepton; archive %.1f%% of original "
+              "(%.1f%% saved)\n",
+              static_cast<unsigned long long>(lepton_admits), archive.size(),
+              100.0 * bytes_out / bytes_in,
+              100.0 * (1.0 - static_cast<double>(bytes_out) / bytes_in));
+
+  // ---- retrieval: every stored object must return its exact bytes ----
+  std::uint64_t verified = 0;
+  for (const auto& [obj, file] : stored) {
+    auto back = store.get(obj);
+    if (back.ok() && back.data == file->bytes) ++verified;
+  }
+  std::printf("retrieval check: %llu/%zu byte-exact\n",
+              static_cast<unsigned long long>(verified), stored.size());
+  return verified == stored.size() ? 0 : 1;
+}

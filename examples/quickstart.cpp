@@ -1,0 +1,65 @@
+// Quickstart: compress one JPEG with Lepton, decompress it, verify the
+// round trip is byte-exact, and print the savings.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [path/to/file.jpg]
+//
+// With no argument, a synthetic photo-like JPEG is generated so the example
+// runs out of the box.
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "lepton/lepton.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::uint8_t> jpeg;
+  if (argc > 1) {
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    jpeg.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  } else {
+    std::puts("no input file given; generating a synthetic photo-like JPEG");
+    jpeg = lepton::corpus::jpeg_of_size(200 << 10, 1);
+  }
+  std::printf("input: %zu bytes\n", jpeg.size());
+
+  // ---- compress ----
+  lepton::EncodeOptions opts;  // production defaults: size-based threading
+  auto encoded = lepton::encode_jpeg({jpeg.data(), jpeg.size()}, opts);
+  if (!encoded.ok()) {
+    std::printf("not admitted: %s (%s)\n",
+                std::string(lepton::util::exit_code_name(encoded.code)).c_str(),
+                encoded.message.c_str());
+    return 1;
+  }
+  std::printf("lepton: %zu bytes (%.1f%% savings)\n", encoded.data.size(),
+              100.0 * (1.0 - static_cast<double>(encoded.data.size()) /
+                                 jpeg.size()));
+
+  // ---- decompress, streaming ----
+  lepton::VectorSink bytes;
+  lepton::TimingSink timing(&bytes);
+  auto code = lepton::decode_lepton({encoded.data.data(), encoded.data.size()},
+                                    timing);
+  if (code != lepton::util::ExitCode::kSuccess) {
+    std::puts("decode failed");
+    return 1;
+  }
+  std::printf("decoded %zu bytes, time-to-first-byte %.2f ms\n",
+              timing.bytes(), timing.ttfb_seconds() * 1e3);
+
+  // ---- verify ----
+  if (bytes.data == jpeg) {
+    std::puts("round trip: EXACT original bytes recovered");
+    return 0;
+  }
+  std::puts("round trip FAILED");
+  return 1;
+}

@@ -1,0 +1,150 @@
+#include "baselines/arith_jpeg.h"
+
+#include <memory>
+
+#include "baselines/jpeg_envelope.h"
+#include "coding/coder_ops.h"
+#include "jpeg/scan_decoder.h"
+
+namespace lepton::baselines {
+namespace {
+
+using coding::Branch;
+using util::ExitCode;
+
+constexpr int kKinds = 2;
+constexpr int kPosBuckets = 6;   // zigzag position buckets for AC contexts
+constexpr int kDcClasses = 3;    // previous-delta classification (spec-like)
+
+int pos_bucket(int k) {
+  if (k <= 1) return 0;
+  if (k <= 2) return 1;
+  if (k <= 5) return 2;
+  if (k <= 9) return 3;
+  if (k <= 20) return 4;
+  return 5;
+}
+
+struct Model {
+  Branch dc_exp[kKinds][kDcClasses][13];
+  Branch dc_sign[kKinds][kDcClasses];
+  Branch dc_res[kKinds][kDcClasses][12];
+  Branch eob[kKinds][kPosBuckets];
+  Branch nonzero[kKinds][kPosBuckets];
+  Branch ac_exp[kKinds][kPosBuckets][11];
+  Branch ac_sign[kKinds][kPosBuckets];
+  Branch ac_res[kKinds][kPosBuckets][10];
+};
+
+template <typename Ops>
+void code_image(Ops& ops, Model& m, const jpegfmt::JpegFile& hdr,
+                jpegfmt::CoeffImage& coeffs) {
+  const auto& fr = hdr.frame;
+  // Sequential per-component state, as the spec's coder keeps.
+  std::array<int, 4> prev_class{};
+
+  for (std::size_t c = 0; c < fr.comps.size(); ++c) {
+    auto& cc = coeffs.comps[c];
+    int kind = c == 0 ? 0 : 1;
+    std::size_t nblocks =
+        static_cast<std::size_t>(cc.width_blocks) * cc.height_blocks;
+    std::int32_t prev_dc = 0;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      std::int16_t* blk = cc.data.data() + b * 64;
+
+      // ---- DC: delta vs previous block of the component ----
+      int cls = prev_class[c];
+      std::int32_t delta = coding::code_value(
+          ops, m.dc_exp[kind][cls], &m.dc_sign[kind][cls], m.dc_res[kind][cls],
+          12, Ops::kEncoding ? blk[0] - prev_dc : 0);
+      if constexpr (!Ops::kEncoding) {
+        std::int32_t dc = prev_dc + delta;
+        if (dc > 2047) dc = 2047;
+        if (dc < -2048) dc = -2048;
+        blk[0] = static_cast<std::int16_t>(dc);
+      }
+      prev_dc = blk[0];
+      std::uint32_t mag = delta < 0 ? static_cast<std::uint32_t>(-delta)
+                                    : static_cast<std::uint32_t>(delta);
+      prev_class[c] = mag == 0 ? 0 : (mag <= 2 ? 1 : 2);
+
+      // ---- AC: per-position EOB decision + value (spec Annex G shape) ----
+      int last_nz = 0;
+      if constexpr (Ops::kEncoding) {
+        for (int k = 63; k >= 1; --k) {
+          if (blk[jpegfmt::kZigzag[k]] != 0) {
+            last_nz = k;
+            break;
+          }
+        }
+      }
+      for (int k = 1; k < 64; ++k) {
+        int pb = pos_bucket(k);
+        bool eob = ops.code_bit(m.eob[kind][pb], k > last_nz);
+        if (eob) break;
+        int nat = jpegfmt::kZigzag[k];
+        bool nz = ops.code_bit(m.nonzero[kind][pb],
+                               Ops::kEncoding ? blk[nat] != 0 : false);
+        if (!nz) continue;
+        std::int32_t v = coding::code_value(
+            ops, m.ac_exp[kind][pb], &m.ac_sign[kind][pb], m.ac_res[kind][pb],
+            10, Ops::kEncoding ? blk[nat] : 0);
+        if constexpr (!Ops::kEncoding) {
+          blk[nat] = static_cast<std::int16_t>(v);
+        } else if (v == 0) {
+          // A nonzero flag with value 0 would desynchronize: impossible by
+          // construction on the encode side.
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t ArithJpegCodec::bin_count() { return sizeof(Model) / sizeof(Branch); }
+
+CodecResult ArithJpegCodec::encode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  try {
+    auto jf = jpegfmt::parse_jpeg(input);
+    auto dec = jpegfmt::decode_scan(jf);
+    auto env = make_envelope(jf, dec);
+    auto model = std::make_unique<Model>();
+    coding::BoolEncoder enc;
+    coding::EncodeOps ops{&enc};
+    code_image(ops, *model, jf, dec.coeffs);
+    auto coded = enc.finish();
+    out.data = pack_envelope(env, {coded.data(), coded.size()});
+  } catch (const jpegfmt::ParseError& e) {
+    out.code = e.code();
+  } catch (const std::exception&) {
+    out.code = ExitCode::kImpossible;
+  }
+  return out;
+}
+
+CodecResult ArithJpegCodec::decode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  try {
+    auto u = unpack_envelope(input);
+    jpegfmt::CoeffImage coeffs;
+    coeffs.comps.resize(u.header.frame.comps.size());
+    for (std::size_t c = 0; c < u.header.frame.comps.size(); ++c) {
+      coeffs.comps[c].resize(u.header.frame.comps[c].width_blocks,
+                             u.header.frame.comps[c].height_blocks);
+    }
+    auto model = std::make_unique<Model>();
+    coding::BoolDecoder dec({u.coded.data(), u.coded.size()});
+    coding::DecodeOps ops{&dec};
+    code_image(ops, *model, u.header, coeffs);
+    out.data = reassemble_file(u, coeffs);
+  } catch (const jpegfmt::ParseError& e) {
+    out.code = e.code();
+  } catch (const std::exception&) {
+    out.code = ExitCode::kImpossible;
+  }
+  return out;
+}
+
+}  // namespace lepton::baselines

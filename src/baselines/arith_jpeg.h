@@ -1,0 +1,28 @@
+// MozJPEG-arithmetic-class baseline (§2, Figure 1 "MozJPEG (arithmetic)").
+//
+// The JPEG specification's arithmetic-coding extension uses a small model —
+// "about 300 bins" (§3.2) — with contexts that look only at the previous
+// values within the same block/component, nothing like Lepton's 721k-bin
+// neighbourhood model. This codec reproduces that design point: the same
+// spec-flavoured contexts (DC delta classification, AC position buckets,
+// EOB decision per position) over our range coder. It lands mid-pack on
+// compression (paper: ~12%) while staying reasonably fast.
+#pragma once
+
+#include "baselines/codec_iface.h"
+
+namespace lepton::baselines {
+
+class ArithJpegCodec : public Codec {
+ public:
+  std::string name() const override { return "mozjpeg-arith-like"; }
+  bool jpeg_aware() const override { return true; }
+  CodecResult encode(std::span<const std::uint8_t> input) override;
+  CodecResult decode(std::span<const std::uint8_t> input) override;
+
+  // Number of statistic bins in the model (tests pin this near the paper's
+  // "about 300 bins" description).
+  static std::size_t bin_count();
+};
+
+}  // namespace lepton::baselines

@@ -1,0 +1,39 @@
+// Common interface for every compression algorithm in the Figure 1/2/3
+// comparison: Lepton (multithreaded and 1-way), the JPEG-aware baselines
+// (PackJPG-like, PAQ-like, MozJPEG-arithmetic-like, JPEGrescan-like) and the
+// generic byte codecs (Deflate family, adaptive byte coder).
+//
+// Every codec must restore the EXACT original bytes — the same bar the
+// paper holds its format-aware competitors to (§2 "file-preserving").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/exit_codes.h"
+
+namespace lepton::baselines {
+
+struct CodecResult {
+  util::ExitCode code = util::ExitCode::kSuccess;
+  std::vector<std::uint8_t> data;
+  bool ok() const { return code == util::ExitCode::kSuccess; }
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string name() const = 0;
+  // True for codecs that understand JPEG structure (center of Figure 2).
+  virtual bool jpeg_aware() const = 0;
+  virtual CodecResult encode(std::span<const std::uint8_t> input) = 0;
+  virtual CodecResult decode(std::span<const std::uint8_t> input) = 0;
+};
+
+// The full codec lineup of Figure 2, in the paper's display order.
+std::vector<std::unique_ptr<Codec>> make_comparison_codecs();
+
+}  // namespace lepton::baselines

@@ -1,0 +1,94 @@
+#include "baselines/generic_codecs.h"
+
+#include <memory>
+
+#include "coding/coder_ops.h"
+#include "util/serialize.h"
+#include "util/tracked_memory.h"
+#include "util/zlib_util.h"
+
+namespace lepton::baselines {
+
+CodecResult DeflateCodec::encode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  util::Serializer s;
+  s.u64(input.size());
+  auto z = util::zlib_compress(input, level_);
+  s.blob({z.data(), z.size()});
+  out.data = s.take();
+  return out;
+}
+
+CodecResult DeflateCodec::decode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  util::Deserializer d(input);
+  std::uint64_t expect = d.u64();
+  auto z = d.blob();
+  if (!d.ok() ||
+      !util::zlib_decompress({z.data(), z.size()}, out.data) ||
+      out.data.size() != expect) {
+    out.code = util::ExitCode::kNotAnImage;
+    out.data.clear();
+  }
+  return out;
+}
+
+namespace {
+
+// 256-way adaptive byte model as a binary tree per context.
+struct ByteModel {
+  explicit ByteModel(int contexts) : tree(contexts) {}
+  std::vector<std::array<coding::Branch, 256>> tree;
+};
+
+}  // namespace
+
+CodecResult ByteArithCodec::encode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  int contexts = order_ == 0 ? 1 : 256;
+  ByteModel model(contexts);
+  util::MemoryTracker::instance().on_alloc(contexts * 512);
+  coding::BoolEncoder enc;
+  coding::EncodeOps ops{&enc};
+  std::uint8_t prev = 0;
+  for (std::uint8_t b : input) {
+    coding::code_tree(ops, model.tree[order_ == 0 ? 0 : prev].data(), 8, b);
+    prev = b;
+  }
+  util::MemoryTracker::instance().on_free(contexts * 512);
+  util::Serializer s;
+  s.u64(input.size());
+  auto coded = enc.finish();
+  s.blob({coded.data(), coded.size()});
+  out.data = s.take();
+  return out;
+}
+
+CodecResult ByteArithCodec::decode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  util::Deserializer d(input);
+  std::uint64_t n = d.u64();
+  auto coded = d.blob();
+  if (!d.ok() || n > (1ull << 32)) {
+    out.code = util::ExitCode::kNotAnImage;
+    return out;
+  }
+  int contexts = order_ == 0 ? 1 : 256;
+  ByteModel model(contexts);
+  util::MemoryTracker::instance().on_alloc(contexts * 512);
+  coding::BoolDecoder dec({coded.data(), coded.size()});
+  coding::DecodeOps ops{&dec};
+  out.data.reserve(n);
+  std::uint8_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    auto b = static_cast<std::uint8_t>(
+        coding::code_tree(ops, model.tree[order_ == 0 ? 0 : prev].data(), 8,
+                          0));
+    out.data.push_back(b);
+    prev = b;
+  }
+  util::MemoryTracker::instance().on_free(contexts * 512);
+  return out;
+}
+
+}  // namespace lepton::baselines

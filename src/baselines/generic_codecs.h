@@ -1,0 +1,47 @@
+// Generic byte-level codecs for the right-hand side of Figure 2.
+//
+// The paper measures Deflate, Brotli, LZham, LZMA and Zstandard and finds
+// all of them save ~1% on JPEGs: already-compressed scan bytes look like
+// noise to any byte-level model, and only the header compresses. Brotli /
+// LZham / LZMA / Zstandard binaries are not available offline, so the class
+// is represented by zlib at several levels plus our own adaptive byte-wise
+// arithmetic coders (order-0 and order-1) — every member of this family
+// lands at ≈0-1% on JPEGs, which is the figure's point (DESIGN.md §5
+// records the substitution).
+#pragma once
+
+#include "baselines/codec_iface.h"
+
+namespace lepton::baselines {
+
+class DeflateCodec : public Codec {
+ public:
+  DeflateCodec(int level, std::string slot)
+      : level_(level), slot_(std::move(slot)) {}
+  std::string name() const override { return slot_; }
+  bool jpeg_aware() const override { return false; }
+  CodecResult encode(std::span<const std::uint8_t> input) override;
+  CodecResult decode(std::span<const std::uint8_t> input) override;
+
+ private:
+  int level_;
+  std::string slot_;
+};
+
+// Adaptive binary-decomposed byte coder; order 0 or 1 (previous byte as
+// context). Stands in for the LZMA/LZham family's entropy stage.
+class ByteArithCodec : public Codec {
+ public:
+  ByteArithCodec(int order, std::string slot)
+      : order_(order), slot_(std::move(slot)) {}
+  std::string name() const override { return slot_; }
+  bool jpeg_aware() const override { return false; }
+  CodecResult encode(std::span<const std::uint8_t> input) override;
+  CodecResult decode(std::span<const std::uint8_t> input) override;
+
+ private:
+  int order_;
+  std::string slot_;
+};
+
+}  // namespace lepton::baselines

@@ -1,0 +1,91 @@
+#include "baselines/jpeg_envelope.h"
+
+#include "jpeg/scan_encoder.h"
+#include "util/serialize.h"
+#include "util/zlib_util.h"
+
+namespace lepton::baselines {
+
+Envelope make_envelope(const jpegfmt::JpegFile& jf,
+                       const jpegfmt::ScanDecodeResult& dec) {
+  Envelope env;
+  env.jpeg_header.assign(jf.header_bytes().begin(), jf.header_bytes().end());
+  env.pad_bit = dec.pad_bit;
+  env.rst_count = dec.rst_count;
+  env.has_eoi = jf.has_eoi;
+  env.trailing_scan = dec.trailing_scan;
+  env.trailing_file.assign(jf.trailing_bytes().begin(),
+                           jf.trailing_bytes().end());
+  return env;
+}
+
+std::vector<std::uint8_t> pack_envelope(const Envelope& env,
+                                        std::span<const std::uint8_t> coded) {
+  util::Serializer meta;
+  meta.blob({env.jpeg_header.data(), env.jpeg_header.size()});
+  meta.u8(env.pad_bit);
+  meta.u32(env.rst_count);
+  meta.u8(env.has_eoi ? 1 : 0);
+  meta.blob({env.trailing_scan.data(), env.trailing_scan.size()});
+  meta.blob({env.trailing_file.data(), env.trailing_file.size()});
+  auto zmeta = util::zlib_compress({meta.data().data(), meta.size()}, 6);
+
+  util::Serializer out;
+  out.blob({zmeta.data(), zmeta.size()});
+  out.blob(coded);
+  return out.take();
+}
+
+Unpacked unpack_envelope(std::span<const std::uint8_t> container) {
+  util::Deserializer d(container);
+  auto zmeta = d.blob();
+  auto coded = d.blob();
+  if (!d.ok()) {
+    throw jpegfmt::ParseError(util::ExitCode::kNotAnImage,
+                              "truncated baseline container");
+  }
+  std::vector<std::uint8_t> meta;
+  if (!util::zlib_decompress({zmeta.data(), zmeta.size()}, meta)) {
+    throw jpegfmt::ParseError(util::ExitCode::kNotAnImage,
+                              "corrupt baseline metadata");
+  }
+  Unpacked u;
+  util::Deserializer m({meta.data(), meta.size()});
+  u.env.jpeg_header = m.blob();
+  u.env.pad_bit = m.u8() & 1;
+  u.env.rst_count = m.u32();
+  u.env.has_eoi = m.u8() != 0;
+  u.env.trailing_scan = m.blob();
+  u.env.trailing_file = m.blob();
+  if (!m.ok()) {
+    throw jpegfmt::ParseError(util::ExitCode::kNotAnImage,
+                              "corrupt baseline metadata fields");
+  }
+  u.coded = std::move(coded);
+  u.header = jpegfmt::parse_jpeg_header(
+      {u.env.jpeg_header.data(), u.env.jpeg_header.size()});
+  return u;
+}
+
+std::vector<std::uint8_t> reassemble_file(const Unpacked& u,
+                                          const jpegfmt::CoeffImage& coeffs) {
+  jpegfmt::ScanEncodeParams p;
+  p.start_mcu_row = 0;
+  p.end_mcu_row = u.header.frame.mcus_y;
+  p.pad_bit = u.env.pad_bit;
+  p.rst_count_limit = u.env.rst_count;
+  p.final_segment = false;  // original padding travels in trailing_scan
+  auto scan = jpegfmt::encode_scan_rows(u.header, coeffs, p, nullptr);
+
+  std::vector<std::uint8_t> out = u.env.jpeg_header;
+  out.insert(out.end(), scan.begin(), scan.end());
+  out.insert(out.end(), u.env.trailing_scan.begin(), u.env.trailing_scan.end());
+  if (u.env.has_eoi) {
+    out.push_back(0xFF);
+    out.push_back(0xD9);
+  }
+  out.insert(out.end(), u.env.trailing_file.begin(), u.env.trailing_file.end());
+  return out;
+}
+
+}  // namespace lepton::baselines

@@ -1,0 +1,49 @@
+// Shared container plumbing for the JPEG-aware baseline codecs.
+//
+// Every format-aware, file-preserving recompressor (§2) needs the same
+// bookkeeping Lepton does: carry the raw header bytes, the pad bit, the RST
+// count, the unconsumed scan tail and any post-EOI garbage, so the original
+// file can be reassembled around the recoded coefficients. This envelope
+// factors that out so each baseline only implements its coefficient coding.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jpeg/parser.h"
+#include "jpeg/scan_decoder.h"
+
+namespace lepton::baselines {
+
+struct Envelope {
+  std::vector<std::uint8_t> jpeg_header;
+  std::uint8_t pad_bit = 1;
+  std::uint32_t rst_count = 0;
+  bool has_eoi = true;
+  std::vector<std::uint8_t> trailing_scan;
+  std::vector<std::uint8_t> trailing_file;
+};
+
+Envelope make_envelope(const jpegfmt::JpegFile& jf,
+                       const jpegfmt::ScanDecodeResult& dec);
+
+// Serializes the envelope (zlib-compressed, as Lepton does for headers §3.1)
+// followed by `coded` (the baseline's coefficient payload).
+std::vector<std::uint8_t> pack_envelope(const Envelope& env,
+                                        std::span<const std::uint8_t> coded);
+
+// Splits a packed container back into envelope + coded payload. Throws
+// jpegfmt::ParseError on corrupt input.
+struct Unpacked {
+  Envelope env;
+  std::vector<std::uint8_t> coded;
+  jpegfmt::JpegFile header;  // parsed from env.jpeg_header
+};
+Unpacked unpack_envelope(std::span<const std::uint8_t> container);
+
+// Reassembles the original file from the envelope and decoded coefficients.
+std::vector<std::uint8_t> reassemble_file(const Unpacked& u,
+                                          const jpegfmt::CoeffImage& coeffs);
+
+}  // namespace lepton::baselines

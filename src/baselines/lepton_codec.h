@@ -1,0 +1,35 @@
+// Adapts the Lepton public API to the comparison-codec interface so the
+// Figure 1/2/3 benches treat it uniformly ("Lepton" and "Lepton 1-way").
+#pragma once
+
+#include "baselines/codec_iface.h"
+#include "lepton/codec.h"
+
+namespace lepton::baselines {
+
+class LeptonCodecAdapter : public Codec {
+ public:
+  explicit LeptonCodecAdapter(bool one_way) : one_way_(one_way) {
+    opts_.one_way = one_way;
+  }
+  std::string name() const override {
+    return one_way_ ? "lepton-1way" : "lepton";
+  }
+  bool jpeg_aware() const override { return true; }
+  CodecResult encode(std::span<const std::uint8_t> input) override {
+    auto r = lepton::encode_jpeg(input, opts_);
+    return {r.code, std::move(r.data)};
+  }
+  CodecResult decode(std::span<const std::uint8_t> input) override {
+    DecodeOptions d;
+    d.run_parallel = !one_way_;
+    auto r = lepton::decode_lepton(input, d);
+    return {r.code, std::move(r.data)};
+  }
+
+ private:
+  bool one_way_;
+  EncodeOptions opts_;
+};
+
+}  // namespace lepton::baselines

@@ -1,0 +1,247 @@
+#include "baselines/packjpg_like.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "baselines/jpeg_envelope.h"
+#include "coding/coder_ops.h"
+#include "jpeg/scan_decoder.h"
+#include "util/tracked_memory.h"
+
+namespace lepton::baselines {
+namespace {
+
+using coding::Branch;
+using util::ExitCode;
+
+constexpr int kKinds = 2;          // luma / chroma statistics
+constexpr int kEnergyBuckets = 16; // log2 of accumulated band energy
+constexpr int kDeltaClasses = 3;   // DC previous-delta classification
+
+int energy_bucket(std::uint32_t e) {
+  int b = 0;
+  while (e != 0 && b < kEnergyBuckets - 1) {
+    ++b;
+    e >>= 1;
+  }
+  return b;
+}
+
+// The coder's full adaptive state. Band-indexed plus energy-context bins;
+// the paq mode adds a second bank keyed by the previous decoded value and
+// mixes the two predictions per bit.
+struct Model {
+  // [kind][band][energy bucket][bit]
+  Branch ac_exp[kKinds][64][kEnergyBuckets][11];
+  Branch ac_sign[kKinds][64][kEnergyBuckets];
+  Branch ac_res[kKinds][64][kEnergyBuckets][10];
+  // Second bank for context mixing (paq mode); sized to cover every bit of
+  // one value coding (exponent + sign + residual <= 20 bits).
+  Branch mix_exp[kKinds][64][kEnergyBuckets][24];
+  // DC
+  Branch dc_exp[kKinds][kDeltaClasses][13];
+  Branch dc_sign[kKinds][kDeltaClasses];
+  Branch dc_res[kKinds][kDeltaClasses][12];
+};
+
+// Context-mixing bit ops: probability = mean of two adaptive branches.
+struct MixEncodeOps {
+  static constexpr bool kEncoding = true;
+  coding::BoolEncoder* enc;
+  Branch* second = nullptr;
+  bool code_bit(Branch& b, bool bit) {
+    std::uint8_t p = b.prob_zero();
+    if (second != nullptr) {
+      unsigned mixed = (static_cast<unsigned>(p) + second->prob_zero()) / 2;
+      p = static_cast<std::uint8_t>(mixed < 1 ? 1 : mixed);
+      second->record(bit);
+      ++second;
+    }
+    enc->put(bit, p);
+    b.record(bit);
+    return bit;
+  }
+};
+
+struct MixDecodeOps {
+  static constexpr bool kEncoding = false;
+  coding::BoolDecoder* dec;
+  Branch* second = nullptr;
+  bool code_bit(Branch& b, bool /*hint*/) {
+    std::uint8_t p = b.prob_zero();
+    if (second != nullptr) {
+      unsigned mixed = (static_cast<unsigned>(p) + second->prob_zero()) / 2;
+      p = static_cast<std::uint8_t>(mixed < 1 ? 1 : mixed);
+    }
+    bool bit = dec->get(p);
+    if (second != nullptr) {
+      second->record(bit);
+      ++second;
+    }
+    b.record(bit);
+    return bit;
+  }
+};
+
+struct BlockRef {
+  std::uint32_t comp;
+  std::uint32_t index;  // block index within component (raster)
+};
+
+// Flattened view of every block in the image, component-major: the "global"
+// structure both sides must hold in RAM.
+struct GlobalView {
+  std::vector<BlockRef> blocks;
+  std::vector<std::uint32_t> energy;  // accumulated |coef| of coded bands
+  std::vector<std::uint32_t> order;   // sort permutation, rebuilt per band
+
+  explicit GlobalView(const jpegfmt::FrameInfo& fr) {
+    for (std::size_t c = 0; c < fr.comps.size(); ++c) {
+      auto n = static_cast<std::uint32_t>(fr.comps[c].width_blocks) *
+               static_cast<std::uint32_t>(fr.comps[c].height_blocks);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        blocks.push_back({static_cast<std::uint32_t>(c), i});
+      }
+    }
+    energy.assign(blocks.size(), 0);
+    order.resize(blocks.size());
+  }
+
+  // The global operation: stable-sort all blocks by decreasing energy of
+  // their already-coded bands. Re-run for every band, on both sides.
+  void resort() {
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::uint32_t a, std::uint32_t b) {
+                       return energy[a] > energy[b];
+                     });
+  }
+};
+
+template <typename Ops>
+void code_image(Ops& ops, Model& m, const jpegfmt::JpegFile& hdr,
+                jpegfmt::CoeffImage& coeffs, bool paq, bool encoding_known) {
+  const auto& fr = hdr.frame;
+  GlobalView view(fr);
+
+  auto block_ptr = [&](const BlockRef& r) {
+    auto& cc = coeffs.comps[r.comp];
+    return cc.data.data() + static_cast<std::size_t>(r.index) * 64;
+  };
+  auto kind_of = [](const BlockRef& r) { return r.comp == 0 ? 0 : 1; };
+
+  // ---- DC band: raster order, neighbour-average prediction ("baseline
+  // PackJPG's approach", §4.3). ----
+  for (std::size_t c = 0; c < fr.comps.size(); ++c) {
+    auto& cc = coeffs.comps[c];
+    int wb = cc.width_blocks;
+    int kind = c == 0 ? 0 : 1;
+    int prev_class = 0;
+    for (int by = 0; by < cc.height_blocks; ++by) {
+      for (int bx = 0; bx < wb; ++bx) {
+        std::int16_t* blk = cc.data.data() +
+                            (static_cast<std::size_t>(by) * wb + bx) * 64;
+        std::int32_t left = bx > 0 ? blk[-64] : 0;
+        std::int32_t above =
+            by > 0 ? blk[-static_cast<std::ptrdiff_t>(wb) * 64] : 0;
+        std::int32_t pred =
+            bx > 0 && by > 0 ? (left + above) / 2 : (bx > 0 ? left : above);
+        std::int32_t delta = coding::code_value(
+            ops, m.dc_exp[kind][prev_class], &m.dc_sign[kind][prev_class],
+            m.dc_res[kind][prev_class], 12,
+            encoding_known ? blk[0] - pred : 0);
+        if constexpr (!Ops::kEncoding) {
+          std::int32_t dc = pred + delta;
+          if (dc > 2047) dc = 2047;
+          if (dc < -2048) dc = -2048;
+          blk[0] = static_cast<std::int16_t>(dc);
+        }
+        std::uint32_t mag = delta < 0 ? static_cast<std::uint32_t>(-delta)
+                                      : static_cast<std::uint32_t>(delta);
+        prev_class = mag == 0 ? 0 : (mag <= 2 ? 1 : 2);
+      }
+    }
+  }
+  // Seed energies with |DC|.
+  for (std::size_t i = 0; i < view.blocks.size(); ++i) {
+    std::int16_t dc = block_ptr(view.blocks[i])[0];
+    view.energy[i] = static_cast<std::uint32_t>(dc < 0 ? -dc : dc);
+  }
+
+  // ---- AC bands in zigzag order, each band globally sorted ----
+  for (int band = 1; band < 64; ++band) {
+    int nat = jpegfmt::kZigzag[band];
+    view.resort();  // the global operation
+    for (std::uint32_t oi : view.order) {
+      const BlockRef& r = view.blocks[oi];
+      std::int16_t* blk = block_ptr(r);
+      int kind = kind_of(r);
+      int eb = energy_bucket(view.energy[oi]);
+      if (paq) {
+        ops.second = m.mix_exp[kind][band][eb];
+      }
+      std::int32_t v = coding::code_value(
+          ops, m.ac_exp[kind][band][eb], &m.ac_sign[kind][band][eb],
+          m.ac_res[kind][band][eb], 10, encoding_known ? blk[nat] : 0);
+      ops.second = nullptr;
+      if constexpr (!Ops::kEncoding) {
+        blk[nat] = static_cast<std::int16_t>(v);
+      }
+      view.energy[oi] += static_cast<std::uint32_t>(v < 0 ? -v : v);
+    }
+  }
+}
+
+}  // namespace
+
+CodecResult PackJpgLikeCodec::encode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  try {
+    auto jf = jpegfmt::parse_jpeg(input);
+    auto dec = jpegfmt::decode_scan(jf);
+    auto env = make_envelope(jf, dec);
+
+    auto model = std::make_unique<Model>();
+    util::MemoryTracker::instance().on_alloc(sizeof(Model));
+    coding::BoolEncoder enc;
+    MixEncodeOps ops{&enc};
+    code_image(ops, *model, jf, dec.coeffs, paq_mode_, true);
+    util::MemoryTracker::instance().on_free(sizeof(Model));
+    auto coded = enc.finish();
+    out.data = pack_envelope(env, {coded.data(), coded.size()});
+  } catch (const jpegfmt::ParseError& e) {
+    out.code = e.code();
+  } catch (const std::exception&) {
+    out.code = ExitCode::kImpossible;
+  }
+  return out;
+}
+
+CodecResult PackJpgLikeCodec::decode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  try {
+    auto u = unpack_envelope(input);
+    // Whole-image allocation up front: this codec cannot stream (§2).
+    jpegfmt::CoeffImage coeffs;
+    coeffs.comps.resize(u.header.frame.comps.size());
+    for (std::size_t c = 0; c < u.header.frame.comps.size(); ++c) {
+      coeffs.comps[c].resize(u.header.frame.comps[c].width_blocks,
+                             u.header.frame.comps[c].height_blocks);
+    }
+    auto model = std::make_unique<Model>();
+    util::MemoryTracker::instance().on_alloc(sizeof(Model));
+    coding::BoolDecoder dec({u.coded.data(), u.coded.size()});
+    MixDecodeOps ops{&dec};
+    code_image(ops, *model, u.header, coeffs, paq_mode_, false);
+    util::MemoryTracker::instance().on_free(sizeof(Model));
+    out.data = reassemble_file(u, coeffs);
+  } catch (const jpegfmt::ParseError& e) {
+    out.code = e.code();
+  } catch (const std::exception&) {
+    out.code = ExitCode::kImpossible;
+  }
+  return out;
+}
+
+}  // namespace lepton::baselines

@@ -1,0 +1,40 @@
+// PackJPG-class baseline (§2 "format-aware, file-preserving recompression").
+//
+// Reproduces the *mechanism* the paper contrasts Lepton against: one of
+// PackJPG's compression techniques "requires re-arranging all of the
+// compressed pixel values in the file in a globally sorted order", which
+// means decompression is single-threaded, needs the entire file, and must
+// decode the whole image into RAM before any byte can be output (§2).
+//
+// Our implementation: coefficients are coded band by band (zigzag index);
+// within each band, blocks are visited in an order globally sorted by the
+// energy of their already-coded bands. The decoder must reproduce the sort,
+// so it fundamentally cannot stream or parallelize — exactly the property
+// Figure 1/2 punishes with a ~9x decode-speed gap.
+//
+// The PAQ-like mode layers context mixing (two adaptive models averaged per
+// bit) on the same coder: a little more compression, markedly slower —
+// the Figure 2 relationship for PAQ8PX. (PAQ8PX's real 35-50x slowdown
+// comes from dozens of mixed models; two are enough to place it correctly
+// on both axes relative to PackJPG. Documented in DESIGN.md §5.)
+#pragma once
+
+#include "baselines/codec_iface.h"
+
+namespace lepton::baselines {
+
+class PackJpgLikeCodec : public Codec {
+ public:
+  explicit PackJpgLikeCodec(bool paq_mode = false) : paq_mode_(paq_mode) {}
+  std::string name() const override {
+    return paq_mode_ ? "paq-like" : "packjpg-like";
+  }
+  bool jpeg_aware() const override { return true; }
+  CodecResult encode(std::span<const std::uint8_t> input) override;
+  CodecResult decode(std::span<const std::uint8_t> input) override;
+
+ private:
+  bool paq_mode_;
+};
+
+}  // namespace lepton::baselines

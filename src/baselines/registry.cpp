@@ -1,0 +1,28 @@
+// Assembles the Figure 2 codec lineup. Slot names carry the paper's column
+// they stand in for; DESIGN.md §5 documents each substitution.
+#include "baselines/arith_jpeg.h"
+#include "baselines/codec_iface.h"
+#include "baselines/generic_codecs.h"
+#include "baselines/lepton_codec.h"
+#include "baselines/packjpg_like.h"
+#include "baselines/rescan_like.h"
+
+namespace lepton::baselines {
+
+std::vector<std::unique_ptr<Codec>> make_comparison_codecs() {
+  std::vector<std::unique_ptr<Codec>> v;
+  v.push_back(std::make_unique<LeptonCodecAdapter>(/*one_way=*/false));
+  v.push_back(std::make_unique<LeptonCodecAdapter>(/*one_way=*/true));
+  v.push_back(std::make_unique<PackJpgLikeCodec>(/*paq_mode=*/false));
+  v.push_back(std::make_unique<PackJpgLikeCodec>(/*paq_mode=*/true));
+  v.push_back(std::make_unique<RescanLikeCodec>());
+  v.push_back(std::make_unique<ArithJpegCodec>());
+  v.push_back(std::make_unique<DeflateCodec>(9, "deflate-9 (brotli slot)"));
+  v.push_back(std::make_unique<DeflateCodec>(6, "deflate"));
+  v.push_back(std::make_unique<ByteArithCodec>(0, "byte-arith-o0 (lzham slot)"));
+  v.push_back(std::make_unique<ByteArithCodec>(1, "byte-arith-o1 (lzma slot)"));
+  v.push_back(std::make_unique<DeflateCodec>(1, "deflate-1 (zstd slot)"));
+  return v;
+}
+
+}  // namespace lepton::baselines

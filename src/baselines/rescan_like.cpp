@@ -1,0 +1,302 @@
+#include "baselines/rescan_like.h"
+
+#include <array>
+
+#include "baselines/jpeg_envelope.h"
+#include "jpeg/huffman_table.h"
+#include "jpeg/scan_decoder.h"
+#include "util/bitio.h"
+#include "util/serialize.h"
+
+namespace lepton::baselines {
+namespace {
+
+using jpegfmt::HuffmanTable;
+using util::ExitCode;
+
+// Spectral bands, as jpegrescan's default progressive script uses.
+struct Band {
+  int ss, se;  // zigzag range, inclusive
+};
+constexpr std::array<Band, 2> kAcBands = {{{1, 5}, {6, 63}}};
+
+int magnitude_bits(int v) {
+  int a = v < 0 ? -v : v;
+  int n = 0;
+  while (a != 0) {
+    ++n;
+    a >>= 1;
+  }
+  return n;
+}
+
+std::uint32_t to_raw(int v, int size) {
+  return v < 0 ? static_cast<std::uint32_t>(v + (1 << size) - 1)
+               : static_cast<std::uint32_t>(v);
+}
+
+int from_raw(std::uint32_t raw, int size) {
+  auto v = static_cast<std::int32_t>(raw);
+  if (v < (1 << (size - 1))) return v - (1 << size) + 1;
+  return v;
+}
+
+// One component's blocks in raster order (progressive scans are coded
+// non-interleaved per component).
+struct CompView {
+  const jpegfmt::ComponentCoeffs* cc;
+  std::size_t nblocks() const {
+    return static_cast<std::size_t>(cc->width_blocks) * cc->height_blocks;
+  }
+};
+
+// ---- symbol streams -------------------------------------------------------
+// The encoder runs each band twice: once counting symbol frequencies, once
+// emitting bits — exactly jpegtran -optimize's two-pass structure.
+
+template <typename EmitSym, typename EmitBits>
+void walk_dc(const std::vector<CompView>& comps, EmitSym&& sym,
+             EmitBits&& bits) {
+  for (const auto& cv : comps) {
+    std::int32_t prev = 0;
+    const std::int16_t* data = cv.cc->data.data();
+    for (std::size_t b = 0; b < cv.nblocks(); ++b) {
+      std::int32_t dc = data[b * 64];
+      std::int32_t diff = dc - prev;
+      prev = dc;
+      int s = magnitude_bits(diff);
+      sym(s);
+      if (s > 0) bits(to_raw(diff, s), s);
+    }
+  }
+}
+
+template <typename EmitSym, typename EmitBits>
+void walk_ac_band(const CompView& cv, const Band& band, EmitSym&& sym,
+                  EmitBits&& bits) {
+  std::uint32_t eobrun = 0;
+  auto flush_eob = [&] {
+    while (eobrun > 0) {
+      int e = 0;
+      while ((2u << e) <= eobrun && e < 14) ++e;  // e = floor(log2(eobrun))
+      std::uint32_t run = std::min(eobrun, (1u << (e + 1)) - 1);
+      // symbol (e<<4)|0, extra bits = run - 2^e  (T.81 G.1.2.2)
+      sym(e << 4);
+      if (e > 0) bits(run - (1u << e), e);
+      eobrun -= run;
+    }
+  };
+  const std::int16_t* data = cv.cc->data.data();
+  for (std::size_t b = 0; b < cv.nblocks(); ++b) {
+    const std::int16_t* blk = data + b * 64;
+    int last_nz = 0;
+    for (int k = band.se; k >= band.ss; --k) {
+      if (blk[jpegfmt::kZigzag[k]] != 0) {
+        last_nz = k;
+        break;
+      }
+    }
+    if (last_nz == 0) {
+      ++eobrun;
+      if (eobrun == 0x7FFF) flush_eob();
+      continue;
+    }
+    flush_eob();
+    int run = 0;
+    for (int k = band.ss; k <= last_nz; ++k) {
+      int c = blk[jpegfmt::kZigzag[k]];
+      if (c == 0) {
+        ++run;
+        continue;
+      }
+      while (run > 15) {
+        sym(0xF0);
+        run -= 16;
+      }
+      int s = magnitude_bits(c);
+      sym((run << 4) | s);
+      bits(to_raw(c, s), s);
+      run = 0;
+    }
+    if (last_nz < band.se) ++eobrun;  // trailing zeros join the next EOB run
+  }
+  flush_eob();
+}
+
+void serialize_table(util::Serializer& s, const HuffmanTable& t) {
+  s.bytes({t.counts().data(), 16});
+  s.u32(static_cast<std::uint32_t>(t.symbols().size()));
+  s.bytes({t.symbols().data(), t.symbols().size()});
+}
+
+HuffmanTable deserialize_table(util::Deserializer& d) {
+  auto counts = d.bytes(16);
+  auto n = d.u32();
+  if (!d.ok() || n > 256) {
+    throw jpegfmt::ParseError(ExitCode::kNotAnImage, "bad band table");
+  }
+  auto symbols = d.bytes(n);
+  if (!d.ok()) {
+    throw jpegfmt::ParseError(ExitCode::kNotAnImage, "bad band symbols");
+  }
+  return HuffmanTable::build({counts.data(), counts.size()},
+                             {symbols.data(), symbols.size()});
+}
+
+}  // namespace
+
+CodecResult RescanLikeCodec::encode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  try {
+    auto jf = jpegfmt::parse_jpeg(input);
+    auto dec = jpegfmt::decode_scan(jf);
+    auto env = make_envelope(jf, dec);
+
+    std::vector<CompView> comps;
+    for (const auto& cc : dec.coeffs.comps) comps.push_back({&cc});
+
+    util::Serializer coded;
+    util::BitWriter bw;
+
+    // ---- DC band ----
+    {
+      std::uint64_t freq[256] = {};
+      walk_dc(comps, [&](int s) { ++freq[s]; }, [](std::uint32_t, int) {});
+      auto table = jpegfmt::build_optimal_table({freq, 256});
+      serialize_table(coded, table);
+      walk_dc(
+          comps,
+          [&](int s) {
+            bw.put_bits(table.code(static_cast<std::uint8_t>(s)),
+                        table.code_length(static_cast<std::uint8_t>(s)));
+          },
+          [&](std::uint32_t raw, int n) { bw.put_bits(raw, n); });
+    }
+    // ---- AC bands, per component (non-interleaved progressive scans) ----
+    for (const auto& band : kAcBands) {
+      for (const auto& cv : comps) {
+        std::uint64_t freq[256] = {};
+        walk_ac_band(cv, band, [&](int s) { ++freq[s]; },
+                     [](std::uint32_t, int) {});
+        auto table = jpegfmt::build_optimal_table({freq, 256});
+        serialize_table(coded, table);
+        walk_ac_band(
+            cv, band,
+            [&](int s) {
+              bw.put_bits(table.code(static_cast<std::uint8_t>(s)),
+                          table.code_length(static_cast<std::uint8_t>(s)));
+            },
+            [&](std::uint32_t raw, int n) { bw.put_bits(raw, n); });
+      }
+    }
+    bw.pad_to_byte(1);
+    coded.blob({bw.bytes().data(), bw.bytes().size()});
+    out.data = pack_envelope(env, {coded.data().data(), coded.size()});
+  } catch (const jpegfmt::ParseError& e) {
+    out.code = e.code();
+  } catch (const std::exception&) {
+    out.code = ExitCode::kImpossible;
+  }
+  return out;
+}
+
+CodecResult RescanLikeCodec::decode(std::span<const std::uint8_t> input) {
+  CodecResult out;
+  try {
+    auto u = unpack_envelope(input);
+    jpegfmt::CoeffImage coeffs;
+    coeffs.comps.resize(u.header.frame.comps.size());
+    for (std::size_t c = 0; c < u.header.frame.comps.size(); ++c) {
+      coeffs.comps[c].resize(u.header.frame.comps[c].width_blocks,
+                             u.header.frame.comps[c].height_blocks);
+    }
+
+    util::Deserializer d({u.coded.data(), u.coded.size()});
+    auto dc_table = deserialize_table(d);
+    std::vector<HuffmanTable> band_tables;
+    for (std::size_t bi = 0; bi < kAcBands.size(); ++bi) {
+      for (std::size_t c = 0; c < coeffs.comps.size(); ++c) {
+        band_tables.push_back(deserialize_table(d));
+      }
+    }
+    auto payload = d.blob();
+    if (!d.ok()) {
+      throw jpegfmt::ParseError(ExitCode::kNotAnImage, "bad rescan payload");
+    }
+    util::BitReader br({payload.data(), payload.size()});
+    auto next_bit = [&br] { return br.get_bit(); };
+
+    // ---- DC ----
+    for (auto& cc : coeffs.comps) {
+      std::int32_t prev = 0;
+      std::size_t n = static_cast<std::size_t>(cc.width_blocks) *
+                      cc.height_blocks;
+      for (std::size_t b = 0; b < n; ++b) {
+        int s = dc_table.decode(next_bit);
+        if (s < 0 || s > 12 || !br.ok()) {
+          throw jpegfmt::ParseError(ExitCode::kNotAnImage, "bad DC symbol");
+        }
+        std::int32_t diff =
+            s == 0 ? 0
+                   : from_raw(br.get_bits(s), s);
+        prev += diff;
+        if (prev > 2047 || prev < -2048) {
+          throw jpegfmt::ParseError(ExitCode::kAcOutOfRange, "DC overflow");
+        }
+        cc.data[b * 64] = static_cast<std::int16_t>(prev);
+      }
+    }
+    // ---- AC bands ----
+    std::size_t table_idx = 0;
+    for (const auto& band : kAcBands) {
+      for (auto& cc : coeffs.comps) {
+        const auto& table = band_tables[table_idx++];
+        std::size_t n = static_cast<std::size_t>(cc.width_blocks) *
+                        cc.height_blocks;
+        std::uint32_t eobrun = 0;
+        for (std::size_t b = 0; b < n; ++b) {
+          std::int16_t* blk = cc.data.data() + b * 64;
+          if (eobrun > 0) {
+            --eobrun;
+            continue;
+          }
+          int k = band.ss;
+          while (k <= band.se) {
+            int rs = table.decode(next_bit);
+            if (rs < 0 || !br.ok()) {
+              throw jpegfmt::ParseError(ExitCode::kNotAnImage, "bad AC sym");
+            }
+            int r = rs >> 4, s = rs & 15;
+            if (s == 0) {
+              if (rs == 0xF0) {
+                k += 16;
+                continue;
+              }
+              // EOB run of 2^r + extra bits, covering this block too.
+              eobrun = 1u << r;
+              if (r > 0) eobrun += br.get_bits(r);
+              --eobrun;  // this block
+              break;
+            }
+            k += r;
+            if (k > band.se) {
+              throw jpegfmt::ParseError(ExitCode::kNotAnImage, "band overrun");
+            }
+            std::int32_t raw = static_cast<std::int32_t>(br.get_bits(s));
+            blk[jpegfmt::kZigzag[k]] =
+                static_cast<std::int16_t>(from_raw(raw, s));
+            ++k;
+          }
+        }
+      }
+    }
+    out.data = reassemble_file(u, coeffs);
+  } catch (const jpegfmt::ParseError& e) {
+    out.code = e.code();
+  } catch (const std::exception&) {
+    out.code = ExitCode::kImpossible;
+  }
+  return out;
+}
+
+}  // namespace lepton::baselines

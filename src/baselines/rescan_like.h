@@ -1,0 +1,25 @@
+// JPEGrescan-class baseline (§2, Figure 1 "JPEGrescan (progressive)").
+//
+// jpegtran-family tools squeeze JPEGs without arithmetic coding by
+// (a) rebuilding optimal per-file Huffman tables and (b) rewriting the scan
+// in progressive spectral order, where end-of-band runs (EOBRUN) amortize
+// the cost of trailing zeros across many blocks. This codec implements both
+// mechanisms faithfully: spectral bands DC / AC[1,5] / AC[6,63], each with
+// length-limited optimal Huffman tables built from a first counting pass,
+// and T.81 §G-style EOBRUN coding in the AC bands. Decompression is fast
+// (plain Huffman), compression modest — the lower-right point of Figure 1.
+#pragma once
+
+#include "baselines/codec_iface.h"
+
+namespace lepton::baselines {
+
+class RescanLikeCodec : public Codec {
+ public:
+  std::string name() const override { return "jpegrescan-like"; }
+  bool jpeg_aware() const override { return true; }
+  CodecResult encode(std::span<const std::uint8_t> input) override;
+  CodecResult decode(std::span<const std::uint8_t> input) override;
+};
+
+}  // namespace lepton::baselines

@@ -1,0 +1,112 @@
+// Binary arithmetic (range) coder with 8-bit probabilities.
+//
+// The paper's footnote 1 says Lepton implements "a modified version of a
+// VP8 range coder" (RFC 6386 §13.2). We implement the same family — a
+// byte-renormalized binary range coder driven by an 8-bit probability of
+// zero — using the carry-counting low/cache scheme (LZMA lineage) rather
+// than VP8's emitted-byte carry walk-back, because it handles carries
+// without revisiting the output buffer. Entropy performance is equivalent
+// (documented as a substitution in DESIGN.md §5).
+//
+// Probabilities are P(bit == 0) scaled to [1, 255]. The decoder never reads
+// past the end of its input: a truncated or hostile stream yields garbage
+// bits, never undefined behaviour — the codec's outer round-trip gate is
+// what decides admissibility (§5.7).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lepton::coding {
+
+class BoolEncoder {
+ public:
+  void put(bool bit, std::uint8_t prob_zero) {
+    std::uint32_t bound = (range_ >> 8) * prob_zero;
+    if (!bit) {
+      range_ = bound;
+    } else {
+      low_ += bound;
+      range_ -= bound;
+    }
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      shift_low();
+    }
+  }
+
+  // Terminates the stream; the encoder must not be used afterwards.
+  std::vector<std::uint8_t> finish() {
+    for (int i = 0; i < 5; ++i) shift_low();
+    return std::move(out_);
+  }
+
+  std::size_t bytes_so_far() const { return out_.size(); }
+
+ private:
+  void shift_low() {
+    if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      auto carry = static_cast<std::uint8_t>(low_ >> 32);
+      if (!first_) {
+        out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+      }
+      for (; pending_ff_ > 0; --pending_ff_) {
+        out_.push_back(static_cast<std::uint8_t>(0xFF + carry));
+      }
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+      first_ = false;
+    } else {
+      ++pending_ff_;
+    }
+    low_ = (low_ & 0x00FFFFFFull) << 8;
+  }
+
+  std::vector<std::uint8_t> out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t pending_ff_ = 0;
+  bool first_ = true;
+};
+
+class BoolDecoder {
+ public:
+  explicit BoolDecoder(std::span<const std::uint8_t> data) : d_(data) {
+    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+  }
+
+  bool get(std::uint8_t prob_zero) {
+    std::uint32_t bound = (range_ >> 8) * prob_zero;
+    bool bit;
+    if (code_ < bound) {
+      bit = false;
+      range_ = bound;
+    } else {
+      bit = true;
+      code_ -= bound;
+      range_ -= bound;
+    }
+    while (range_ < (1u << 24)) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
+
+  // True once the decoder has consumed (or run past) all input; used by
+  // validation, not required for correctness.
+  bool exhausted() const { return pos_ >= d_.size(); }
+
+ private:
+  std::uint8_t next_byte() {
+    return pos_ < d_.size() ? d_[pos_++] : 0;  // truncated input reads as 0
+  }
+
+  std::span<const std::uint8_t> d_;
+  std::size_t pos_ = 0;
+  std::uint32_t code_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+};
+
+}  // namespace lepton::coding

@@ -1,0 +1,44 @@
+// Adaptive "statistic bin" (the paper's unit of model state, §3.2).
+//
+// Each Branch tracks how many zeros and ones it has coded and exposes an
+// 8-bit probability for the range coder. Bins start at 50-50 and adapt
+// independently as the file is coded (§3.2); per-thread models are
+// independent copies, which is why more threads cost a little compression.
+#pragma once
+
+#include <cstdint>
+
+namespace lepton::coding {
+
+class Branch {
+ public:
+  // P(bit == 0) scaled to [1, 255]; starts at 128 (50-50).
+  std::uint8_t prob_zero() const {
+    unsigned total = zeros_ + ones_;
+    unsigned p = (static_cast<unsigned>(zeros_) << 8) / total;
+    return static_cast<std::uint8_t>(p < 1 ? 1 : (p > 255 ? 255 : p));
+  }
+
+  void record(bool bit) {
+    std::uint8_t& c = bit ? ones_ : zeros_;
+    if (c == 0xFF) {
+      // Renormalize: halve both counts (keeping >= 1) so the bin keeps
+      // adapting to recent statistics instead of saturating.
+      zeros_ = static_cast<std::uint8_t>((zeros_ + 1) >> 1);
+      ones_ = static_cast<std::uint8_t>((ones_ + 1) >> 1);
+    }
+    ++c;
+  }
+
+  std::uint16_t observations() const {
+    return static_cast<std::uint16_t>(zeros_ + ones_ - 2);
+  }
+
+ private:
+  std::uint8_t zeros_ = 1;  // virtual counts: 1/1 == 50-50 prior
+  std::uint8_t ones_ = 1;
+};
+
+static_assert(sizeof(Branch) == 2, "bins are the model's memory footprint");
+
+}  // namespace lepton::coding

@@ -1,0 +1,99 @@
+// Symmetric encode/decode operations over adaptive branches.
+//
+// Lepton's model logic must be written exactly once: any drift between the
+// encoder's and decoder's view of a context is a correctness bug of the
+// worst kind (silent corruption caught only by round-trip tests, §5.2).
+// All model code is therefore templated over an Ops policy; EncodeOps
+// writes bits it is told, DecodeOps returns bits from the stream, and both
+// update the branch identically.
+#pragma once
+
+#include <cstdint>
+
+#include "coding/bool_coder.h"
+#include "coding/branch.h"
+
+namespace lepton::coding {
+
+struct EncodeOps {
+  static constexpr bool kEncoding = true;
+  BoolEncoder* enc;
+
+  // Codes `bit` under `b` and returns it.
+  bool code_bit(Branch& b, bool bit) {
+    enc->put(bit, b.prob_zero());
+    b.record(bit);
+    return bit;
+  }
+};
+
+struct DecodeOps {
+  static constexpr bool kEncoding = false;
+  BoolDecoder* dec;
+
+  // Ignores the hint and returns the decoded bit.
+  bool code_bit(Branch& b, bool /*hint*/) {
+    bool bit = dec->get(b.prob_zero());
+    b.record(bit);
+    return bit;
+  }
+};
+
+// Unary-exponent / sign / residual integer coding (the paper's Exp-Golomb
+// scheme, §A.2): exponent e = bit-length of |v| coded as unary over
+// per-position branches, then a sign bit, then the e-1 bits below the
+// implicit leading 1. `exp_branches` must hold at least `max_bits`
+// branches, `res_branches` at least `max_bits - 1`.
+template <typename Ops>
+std::int32_t code_value(Ops& ops, Branch* exp_branches, Branch* sign_branch,
+                        Branch* res_branches, int max_bits,
+                        std::int32_t v_if_encoding) {
+  int target_e = 0;
+  if constexpr (Ops::kEncoding) {
+    std::uint32_t a = v_if_encoding < 0
+                          ? static_cast<std::uint32_t>(-v_if_encoding)
+                          : static_cast<std::uint32_t>(v_if_encoding);
+    while (a != 0) {
+      ++target_e;
+      a >>= 1;
+    }
+  }
+  int e = 0;
+  while (e < max_bits) {
+    bool more = ops.code_bit(exp_branches[e], e < target_e);
+    if (!more) break;
+    ++e;
+  }
+  if (e == 0) return 0;
+
+  bool negative = ops.code_bit(*sign_branch, v_if_encoding < 0);
+
+  std::uint32_t mag = 1;  // implicit leading 1
+  std::uint32_t abs_v = v_if_encoding < 0
+                            ? static_cast<std::uint32_t>(-v_if_encoding)
+                            : static_cast<std::uint32_t>(v_if_encoding);
+  for (int i = e - 2; i >= 0; --i) {
+    bool bit = ops.code_bit(res_branches[i], (abs_v >> i) & 1u);
+    mag = (mag << 1) | (bit ? 1u : 0u);
+  }
+  auto result = static_cast<std::int32_t>(mag);
+  return negative ? -result : result;
+}
+
+// Fixed-width binary-tree coding of a value in [0, 2^bits): each node of
+// the prefix tree has its own branch (the paper's "bin for each bit is
+// further indexed by the previously decoded bits", §A.2.1).
+// `tree_branches` must hold at least 2^bits entries.
+template <typename Ops>
+std::uint32_t code_tree(Ops& ops, Branch* tree_branches, int bits,
+                        std::uint32_t v_if_encoding) {
+  std::uint32_t node = 1;  // heap-style index; value bits appended below
+  for (int i = bits - 1; i >= 0; --i) {
+    bool bit = ops.code_bit(tree_branches[node],
+                            (v_if_encoding >> i) & 1u);
+    node = (node << 1) | (bit ? 1u : 0u);
+  }
+  return node - (1u << bits);
+}
+
+}  // namespace lepton::coding

@@ -1,0 +1,59 @@
+// Benchmark corpus builder.
+//
+// Mirrors the paper's evaluation inputs (§4): "randomly sampled data chunks
+// beginning with the JPEG start-of-image marker ... Some of these chunks
+// are JPEG files, some are not JPEGs, and some are the first 4 MiB of a
+// large JPEG file." The anomaly proportions follow the §6.2 exit-code
+// table: ~3% progressive, ~1.5% otherwise-unsupported, ~0.8% non-image,
+// ~0.5% CMYK, plus §A.3 corruptions (zero-wiped tails, truncations,
+// trailing TV garbage, concatenated thumbnail+image pairs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jpeg/jfif_builder.h"
+#include "util/rng.h"
+
+namespace lepton::corpus {
+
+enum class FileKind {
+  kBaselineJpeg,    // valid baseline JPEG (the ~94% case)
+  kProgressive,     // SOF2 (rejected as Progressive)
+  kUnsupported,     // 12-bit / multi-scan style (rejected Unsupported)
+  kNotAnImage,      // SOI then non-JPEG bytes
+  kCmyk,            // 4-component frame
+  kZeroWipedTail,   // §A.3 zero-run corruption (often still round-trips)
+  kTruncated,       // cut mid-scan
+  kTrailingGarbage, // valid JPEG + TV-format appendix (round-trips)
+  kConcatenated     // thumbnail JPEG + main JPEG in one file (round-trips)
+};
+
+struct CorpusFile {
+  FileKind kind = FileKind::kBaselineJpeg;
+  std::string label;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct CorpusOptions {
+  // Approximate byte-size targets for valid JPEGs (the paper benchmarks
+  // 100 KiB - 4 MiB; tests use smaller ranges to stay fast).
+  std::size_t min_bytes = 30 << 10;
+  std::size_t max_bytes = 400 << 10;
+  int valid_files = 24;       // baseline JPEGs
+  bool include_anomalies = true;  // add the §6.2 / §A.3 mix
+  std::uint64_t seed = 20160414;  // Lepton's production launch date
+};
+
+// Builds a deterministic corpus. Valid files span sizes, qualities
+// (50..95), subsampling modes, grayscale, restart intervals and content
+// styles; anomalies follow the §6.2 proportions scaled to corpus size.
+std::vector<CorpusFile> build_corpus(const CorpusOptions& opts);
+
+// One valid baseline JPEG of roughly `target_bytes` (binary-searches the
+// image dimensions; exact size varies with content).
+std::vector<std::uint8_t> jpeg_of_size(std::size_t target_bytes,
+                                       std::uint64_t seed);
+
+}  // namespace lepton::corpus

@@ -1,0 +1,143 @@
+#include "corpus/image_gen.h"
+
+#include <cmath>
+#include <vector>
+
+namespace lepton::corpus {
+namespace {
+
+// Seeded value-noise lattice with bilinear interpolation; summed octaves
+// give the 1/f-ish spectrum of natural textures.
+class ValueNoise {
+ public:
+  ValueNoise(std::uint64_t seed, int cell) : seed_(seed), cell_(cell) {}
+
+  double at(int x, int y) const {
+    int gx = x / cell_, gy = y / cell_;
+    double fx = static_cast<double>(x % cell_) / cell_;
+    double fy = static_cast<double>(y % cell_) / cell_;
+    double v00 = lattice(gx, gy), v10 = lattice(gx + 1, gy);
+    double v01 = lattice(gx, gy + 1), v11 = lattice(gx + 1, gy + 1);
+    double sx = fx * fx * (3 - 2 * fx);  // smoothstep
+    double sy = fy * fy * (3 - 2 * fy);
+    double a = v00 + (v10 - v00) * sx;
+    double b = v01 + (v11 - v01) * sx;
+    return a + (b - a) * sy;  // [0, 1)
+  }
+
+ private:
+  double lattice(int gx, int gy) const {
+    std::uint64_t h = seed_;
+    h ^= static_cast<std::uint64_t>(gx) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::uint64_t>(gy) * 0xC2B2AE3D27D4EB4Full;
+    h *= 0xFF51AFD7ED558CCDull;
+    h ^= h >> 33;
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t seed_;
+  int cell_;
+};
+
+}  // namespace
+
+jpegfmt::RasterImage generate_image(int width, int height, int channels,
+                                    ImageStyle style, std::uint64_t seed) {
+  jpegfmt::RasterImage img;
+  img.width = width;
+  img.height = height;
+  img.channels = channels;
+  img.pixels.resize(static_cast<std::size_t>(width) * height * channels);
+  util::Rng rng(seed);
+
+  // Global gradient parameters, scaled so the ramp spans a bounded range
+  // across the whole image regardless of its dimensions (unbounded slopes
+  // saturate to flat black/white areas, whose scan bytes are trivially
+  // compressible and would corrupt the Figure 2 "generic codecs save ~1%"
+  // baseline).
+  double gx = rng.uniform(-90.0, 90.0) / width;
+  double gy = rng.uniform(-90.0, 90.0) / height;
+  double base = rng.uniform(90, 170);
+  // Radial component (sunset-sky look, §A.2.3's motivating example).
+  double cx = width * rng.uniform(0.1, 0.9), cy = height * rng.uniform(0.1, 0.9);
+  double rad_amp = rng.uniform(10, 50);
+  double rad_scale = rng.uniform(0.5, 2.0) * (width + height);
+
+  ValueNoise coarse(rng.next(), std::max(8, width / 12));
+  ValueNoise mid(rng.next(), 13);
+  ValueNoise fine(rng.next(), 3);
+
+  // Hard-edge rectangles.
+  struct Rect {
+    int x0, y0, x1, y1;
+    double delta;
+  };
+  std::vector<Rect> rects;
+  int nrects = style == ImageStyle::kEdges
+                   ? 12
+                   : (style == ImageStyle::kMixed ? 5 : 0);
+  for (int i = 0; i < nrects; ++i) {
+    int x0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(width)));
+    int y0 = static_cast<int>(rng.below(static_cast<std::uint64_t>(height)));
+    rects.push_back({x0, y0,
+                     x0 + static_cast<int>(rng.range(8, width / 2 + 8)),
+                     y0 + static_cast<int>(rng.range(8, height / 2 + 8)),
+                     rng.uniform(-60, 60)});
+  }
+
+  double w_coarse, w_mid, w_fine;
+  switch (style) {
+    case ImageStyle::kSmoothGradient:
+      w_coarse = 18;
+      w_mid = 3;
+      w_fine = 1;
+      break;
+    case ImageStyle::kTexture:
+      w_coarse = 10;
+      w_mid = 35;
+      w_fine = 16;
+      break;
+    case ImageStyle::kEdges:
+      w_coarse = 8;
+      w_mid = 6;
+      w_fine = 3;
+      break;
+    case ImageStyle::kMixed:
+    default:
+      w_coarse = 16;
+      w_mid = 18;
+      w_fine = 7;
+      break;
+  }
+  // Per-channel hue offsets so chroma planes carry real (but smaller) data.
+  double chan_off[4] = {0, rng.uniform(-25, 25), rng.uniform(-25, 25), 0};
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double dx = x - cx, dy = y - cy;
+      double r = std::sqrt(dx * dx + dy * dy);
+      double v = base + gx * x + gy * y +
+                 rad_amp * std::sin(r * 6.2831853 / rad_scale) +
+                 w_coarse * (coarse.at(x, y) - 0.5) * 2 +
+                 w_mid * (mid.at(x, y) - 0.5) * 2 +
+                 w_fine * (fine.at(x, y) - 0.5) * 2;
+      for (const auto& rect : rects) {
+        if (x >= rect.x0 && x < rect.x1 && y >= rect.y0 && y < rect.y1) {
+          v += rect.delta;
+        }
+      }
+      for (int c = 0; c < channels; ++c) {
+        double cv = v + chan_off[c] * (0.5 + coarse.at(x + 37 * c, y) * 0.5);
+        // Soft tone curve instead of hard clipping: saturated flat regions
+        // would make the Huffman scan LZ-compressible, which real photos
+        // are not.
+        cv = 128.0 + 112.0 * std::tanh((cv - 128.0) / 112.0);
+        img.pixels[(static_cast<std::size_t>(y) * width + x) * channels + c] =
+            static_cast<std::uint8_t>(cv < 0 ? 0 : (cv > 255 ? 255 : cv));
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace lepton::corpus

@@ -1,0 +1,28 @@
+// Synthetic photo-like image generator.
+//
+// The paper's benchmark corpus is 233,376 randomly sampled user chunks
+// (§4); we cannot have user photos, so this generator produces images with
+// the statistical structure Lepton's model exploits in real photographs:
+// smooth large-scale gradients (DC prediction), value-noise octaves at
+// several scales (AC energy distribution), and hard edges (edge-coefficient
+// correlation across blocks). Everything is seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "jpeg/jfif_builder.h"
+#include "util/rng.h"
+
+namespace lepton::corpus {
+
+enum class ImageStyle {
+  kSmoothGradient,  // sky-like: strong DC structure, weak AC
+  kTexture,         // foliage-like: dense mid-frequency AC
+  kEdges,           // architecture-like: strong edge coefficients
+  kMixed            // composite of the above (default "photo")
+};
+
+jpegfmt::RasterImage generate_image(int width, int height, int channels,
+                                    ImageStyle style, std::uint64_t seed);
+
+}  // namespace lepton::corpus

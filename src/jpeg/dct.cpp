@@ -1,0 +1,96 @@
+#include "jpeg/dct.h"
+
+#include <cmath>
+
+namespace lepton::jpegfmt {
+namespace {
+
+// cos((2x+1) u pi / 16) * sqrt(1/8 or 2/8), Q20. Generated at first use from
+// long double and cached; the values are constants so this is deterministic
+// per process and identical across encode/decode within a build, which is
+// the property the model requires (both sides run this same code).
+struct BasisTable {
+  std::int64_t b[8][8];
+  BasisTable() {
+    const long double pi = 3.14159265358979323846264338327950288L;
+    for (int x = 0; x < 8; ++x) {
+      for (int u = 0; u < 8; ++u) {
+        long double c = u == 0 ? std::sqrt(0.125L) : std::sqrt(0.25L);
+        long double v =
+            c * std::cos((2 * x + 1) * u * pi / 16.0L) * 1048576.0L;
+        b[x][u] = static_cast<std::int64_t>(v >= 0 ? v + 0.5L : v - 0.5L);
+      }
+    }
+  }
+};
+
+const BasisTable& basis() {
+  static const BasisTable t;
+  return t;
+}
+
+}  // namespace
+
+std::int64_t dct_basis_q20(int x, int u) { return basis().b[x][u]; }
+
+void fdct_8x8(const std::uint8_t* pixels, int stride, double out[64]) {
+  // Direct O(64*64) transform; only used when authoring corpus files.
+  static double cb[8][8];
+  static bool init = false;
+  if (!init) {
+    const double pi = 3.14159265358979323846;
+    for (int x = 0; x < 8; ++x) {
+      for (int u = 0; u < 8; ++u) {
+        double c = u == 0 ? std::sqrt(0.125) : 0.5;
+        cb[x][u] = c * std::cos((2 * x + 1) * u * pi / 16.0);
+      }
+    }
+    init = true;
+  }
+  double tmp[64];
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      double s = 0;
+      for (int x = 0; x < 8; ++x) {
+        s += (static_cast<double>(pixels[y * stride + x]) - 128.0) * cb[x][u];
+      }
+      tmp[y * 8 + u] = s;
+    }
+  }
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      double s = 0;
+      for (int y = 0; y < 8; ++y) s += tmp[y * 8 + v] * cb[y][u];
+      out[u * 8 + v] = s;
+    }
+  }
+}
+
+void idct_8x8_scaled(const std::int32_t coef[64], std::int32_t out[64]) {
+  const auto& B = basis();
+  // Separable: tmp[u][y] = sum_v coef[u][v] * B(y, v), then
+  // out[x][y] = sum_u B(x, u) * tmp[u][y]. All Q20 → shift back with
+  // rounding. Output scaled by 8.
+  std::int64_t tmp[64];
+  for (int u = 0; u < 8; ++u) {
+    for (int y = 0; y < 8; ++y) {
+      std::int64_t s = 0;
+      for (int v = 0; v < 8; ++v) {
+        s += static_cast<std::int64_t>(coef[u * 8 + v]) * B.b[y][v];
+      }
+      tmp[u * 8 + y] = s >> 10;  // keep Q10 for the second pass
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      std::int64_t s = 0;
+      for (int u = 0; u < 8; ++u) s += tmp[u * 8 + y] * B.b[x][u];
+      // Q30 now; produce 8x-scaled samples: value*8 = s / 2^30 * 8.
+      out[x * 8 + y] = static_cast<std::int32_t>((s + (1ll << 26)) >> 27);
+    }
+  }
+}
+
+}  // namespace lepton::jpegfmt

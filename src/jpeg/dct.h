@@ -1,0 +1,32 @@
+// 8x8 DCT transforms.
+//
+// Two implementations with different jobs:
+//  * a floating-point forward DCT used only by the synthetic JPEG author
+//    (corpus generation — accuracy matters, determinism across builds does
+//    not because the authored bytes become the ground truth), and
+//  * a fixed-point integer inverse DCT used by the Lepton model's DC
+//    prediction (§3.3/§A.2.3). The model runs the same IDCT on the encode
+//    and decode side, so it must be bit-deterministic; it is pure int32/64
+//    arithmetic with a constant table, no floating point.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lepton::jpegfmt {
+
+// Forward DCT of an 8x8 block of samples (level-shifted by -128 internally)
+// producing unquantized coefficients in natural order.
+void fdct_8x8(const std::uint8_t* pixels, int stride, double out[64]);
+
+// Deterministic integer IDCT. Input: dequantized coefficients (coef * q),
+// natural order. Output: 64 pixel values scaled by 8 (i.e. 8x the sample
+// value, without the +128 level shift). The x8 scale keeps the DC term
+// exact: a DC of d contributes exactly d to every scaled output sample.
+void idct_8x8_scaled(const std::int32_t coef[64], std::int32_t out[64]);
+
+// Orthonormal DCT basis entry B(x, u) in Q20 fixed point: used by the
+// Lakhani edge predictor (§A.2.2), which needs individual basis values.
+std::int64_t dct_basis_q20(int x, int u);
+
+}  // namespace lepton::jpegfmt

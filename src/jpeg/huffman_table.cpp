@@ -1,0 +1,146 @@
+#include "jpeg/huffman_table.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lepton::jpegfmt {
+
+HuffmanTable HuffmanTable::build(std::span<const std::uint8_t> counts16,
+                                 std::span<const std::uint8_t> symbols) {
+  if (counts16.size() != 16) {
+    throw ParseError(util::ExitCode::kNotAnImage, "DHT counts != 16");
+  }
+  HuffmanTable t;
+  std::copy(counts16.begin(), counts16.end(), t.counts_.begin());
+  std::size_t total = std::accumulate(counts16.begin(), counts16.end(),
+                                      std::size_t{0});
+  if (total == 0 || total > 256 || symbols.size() < total) {
+    throw ParseError(util::ExitCode::kNotAnImage, "DHT symbol count invalid");
+  }
+  t.symbols_.assign(symbols.begin(), symbols.begin() + total);
+
+  // Canonical code assignment (T.81 C.2): codes of each length are
+  // consecutive, starting from (previous start + previous count) << 1.
+  std::uint32_t code = 0;
+  std::size_t k = 0;
+  t.enc_len_.fill(0);
+  for (int len = 1; len <= 16; ++len) {
+    int n = counts16[len - 1];
+    if (n == 0) {
+      t.min_code_[len] = 0;
+      t.max_code_[len] = -1;
+      t.val_ptr_[len] = 0;
+      code <<= 1;
+      continue;
+    }
+    // Over-subscription check: all codes of this length must fit.
+    if (code + static_cast<std::uint32_t>(n) > (1u << len)) {
+      throw ParseError(util::ExitCode::kNotAnImage,
+                       "DHT table over-subscribed");
+    }
+    t.val_ptr_[len] = static_cast<std::uint32_t>(k);
+    t.min_code_[len] = static_cast<std::int32_t>(code);
+    for (int i = 0; i < n; ++i, ++k) {
+      std::uint8_t sym = t.symbols_[k];
+      t.enc_code_[sym] = static_cast<std::uint16_t>(code);
+      t.enc_len_[sym] = static_cast<std::uint8_t>(len);
+      ++code;
+    }
+    t.max_code_[len] = static_cast<std::int32_t>(code - 1);
+    code <<= 1;
+  }
+  t.defined_ = true;
+  return t;
+}
+
+HuffmanTable build_optimal_table(std::span<const std::uint64_t> freq,
+                                 int max_len) {
+  // Package-merge would be exact; the classic IJG approach (Huffman tree,
+  // then limit lengths by moving leaves) is what jpegtran ships and is what
+  // we mirror. We implement the IJG algorithm from T.81 K.2.
+  constexpr int kMaxSymbols = 256;
+  std::array<std::int64_t, kMaxSymbols + 1> f{};
+  std::array<int, kMaxSymbols + 1> others;
+  std::array<int, kMaxSymbols + 1> codesize{};
+  others.fill(-1);
+  int nsym = static_cast<int>(freq.size());
+  for (int i = 0; i < nsym; ++i) f[i] = static_cast<std::int64_t>(freq[i]);
+  // Reserve one code point so no symbol gets the all-ones code (T.81 K.2
+  // uses a pseudo-symbol with frequency 1).
+  f[kMaxSymbols] = 1;
+
+  for (;;) {
+    // Find least c1 and second-least c2 nonzero frequencies.
+    int c1 = -1, c2 = -1;
+    std::int64_t v1 = INT64_MAX, v2 = INT64_MAX;
+    for (int i = 0; i <= kMaxSymbols; ++i) {
+      if (f[i] == 0) continue;
+      if (f[i] <= v1) {
+        v2 = v1;
+        c2 = c1;
+        v1 = f[i];
+        c1 = i;
+      } else if (f[i] <= v2) {
+        v2 = f[i];
+        c2 = i;
+      }
+    }
+    if (c2 < 0) break;  // tree complete
+    f[c1] += f[c2];
+    f[c2] = 0;
+    for (++codesize[c1]; others[c1] >= 0; ++codesize[c1]) c1 = others[c1];
+    others[c1] = c2;
+    for (++codesize[c2]; others[c2] >= 0; ++codesize[c2]) c2 = others[c2];
+  }
+
+  // Count codes per length, then limit to max_len (IJG: move pairs of
+  // longest codes up).
+  std::array<int, 64> bits{};
+  for (int i = 0; i <= kMaxSymbols; ++i) {
+    if (codesize[i] > 0 && codesize[i] < 64) ++bits[codesize[i]];
+  }
+  for (int len = 63; len > max_len; --len) {
+    while (bits[len] > 0) {
+      int j = len - 2;
+      while (j > 0 && bits[j] == 0) --j;
+      bits[len] -= 2;
+      ++bits[len - 1];
+      bits[j + 1] += 2;
+      --bits[j];
+    }
+  }
+  // Remove the reserved pseudo-symbol's code (the longest one).
+  for (int len = max_len; len >= 1; --len) {
+    if (bits[len] > 0) {
+      --bits[len];
+      break;
+    }
+  }
+
+  // Emit symbols sorted by (codesize, symbol value).
+  std::array<std::uint8_t, 16> counts{};
+  std::vector<std::uint8_t> symbols;
+  for (int len = 1; len <= max_len; ++len) {
+    counts[len - 1] = static_cast<std::uint8_t>(bits[len]);
+  }
+  for (int len = 1; len <= 63; ++len) {
+    for (int i = 0; i < nsym; ++i) {
+      if (codesize[i] == len) symbols.push_back(static_cast<std::uint8_t>(i));
+    }
+  }
+  // Length limiting may have changed per-length counts without changing the
+  // symbol order (IJG property). Total symbols must match total counts.
+  std::size_t total = 0;
+  for (auto c : counts) total += c;
+  symbols.resize(total <= symbols.size() ? total : symbols.size());
+  if (symbols.empty()) {
+    // Degenerate input (all-zero frequencies): emit a 1-entry table so the
+    // stream stays well-formed.
+    counts.fill(0);
+    counts[0] = 1;
+    symbols = {0};
+  }
+  return HuffmanTable::build(counts, symbols);
+}
+
+}  // namespace lepton::jpegfmt

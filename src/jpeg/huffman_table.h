@@ -1,0 +1,84 @@
+// Canonical JPEG Huffman tables (ITU-T T.81 Annex C) with both encode and
+// decode views. Decode uses an 8-bit first-level lookup with a canonical
+// slow path for longer codes. All table construction is bounds-checked:
+// hostile DHT segments were the source of the open-source release's fuzzing
+// bugs (§6.7), so over-subscribed code lengths are rejected, not trusted.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jpeg/jpeg_types.h"
+
+namespace lepton::jpegfmt {
+
+class HuffmanTable {
+ public:
+  HuffmanTable() = default;
+
+  // Builds from the DHT payload: 16 length counts then the symbol list.
+  // Throws ParseError on invalid (over-subscribed) tables.
+  static HuffmanTable build(std::span<const std::uint8_t> counts16,
+                            std::span<const std::uint8_t> symbols);
+
+  bool defined() const { return defined_; }
+
+  // -- Encode view ---------------------------------------------------------
+  // Code/length for a symbol. Length 0 means the symbol has no code (using
+  // it would make the file unrepresentable; callers treat that as corrupt).
+  std::uint16_t code(std::uint8_t symbol) const { return enc_code_[symbol]; }
+  std::uint8_t code_length(std::uint8_t symbol) const {
+    return enc_len_[symbol];
+  }
+
+  // -- Decode view ---------------------------------------------------------
+  // Decodes one symbol by pulling bits from `next_bit` (a callable returning
+  // 0/1). Returns -1 if the bit pattern matches no code.
+  template <typename NextBit>
+  int decode(NextBit&& next_bit) const {
+    // First level: try the 8-bit LUT using peeked bits one at a time.
+    std::uint32_t bits = 0;
+    for (int len = 1; len <= 16; ++len) {
+      bits = (bits << 1) | (next_bit() & 1u);
+      if (len <= 8) {
+        // LUT keyed by (code << (8 - len)) is ambiguous; use canonical
+        // min/max compare which is branch-cheap.
+      }
+      if (max_code_[len] >= 0 &&
+          static_cast<std::int32_t>(bits) <= max_code_[len] &&
+          static_cast<std::int32_t>(bits) >= min_code_[len]) {
+        std::size_t idx =
+            val_ptr_[len] + (bits - static_cast<std::uint32_t>(min_code_[len]));
+        if (idx < symbols_.size()) return symbols_[idx];
+        return -1;
+      }
+    }
+    return -1;
+  }
+
+  // Raw DHT payload (counts + symbols) for re-serialization.
+  const std::array<std::uint8_t, 16>& counts() const { return counts_; }
+  const std::vector<std::uint8_t>& symbols() const { return symbols_; }
+
+ private:
+  bool defined_ = false;
+  std::array<std::uint8_t, 16> counts_{};
+  std::vector<std::uint8_t> symbols_;
+  // Canonical decode tables (T.81 F.2.2.3).
+  std::array<std::int32_t, 17> min_code_{};
+  std::array<std::int32_t, 17> max_code_{};  // -1 = no codes of this length
+  std::array<std::uint32_t, 17> val_ptr_{};
+  // Encode tables.
+  std::array<std::uint16_t, 256> enc_code_{};
+  std::array<std::uint8_t, 256> enc_len_{};
+};
+
+// Builds an optimal (length-limited, canonical) Huffman table for the given
+// symbol frequencies, as jpegtran's -optimize does. Used by the
+// JPEGrescan-like baseline and by the synthetic JPEG author.
+HuffmanTable build_optimal_table(std::span<const std::uint64_t> freq,
+                                 int max_len = 16);
+
+}  // namespace lepton::jpegfmt

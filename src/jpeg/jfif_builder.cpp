@@ -1,0 +1,425 @@
+#include "jpeg/jfif_builder.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "jpeg/dct.h"
+#include "jpeg/parser.h"
+#include "jpeg/scan_encoder.h"
+
+namespace lepton::jpegfmt {
+namespace {
+
+// ITU-T T.81 Annex K reference tables.
+constexpr std::array<std::uint16_t, 64> kLumaQ = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<std::uint16_t, 64> kChromaQ = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+constexpr std::uint8_t kDcLumaCounts[16] = {0, 1, 5, 1, 1, 1, 1, 1,
+                                            1, 0, 0, 0, 0, 0, 0, 0};
+constexpr std::uint8_t kDcSymbols[12] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+constexpr std::uint8_t kDcChromaCounts[16] = {0, 3, 1, 1, 1, 1, 1, 1,
+                                              1, 1, 1, 0, 0, 0, 0, 0};
+
+constexpr std::uint8_t kAcLumaCounts[16] = {0, 2, 1, 3, 3, 2, 4, 3,
+                                            5, 5, 4, 4, 0, 0, 1, 0x7d};
+constexpr std::uint8_t kAcLumaSymbols[] = {
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06,
+    0x13, 0x51, 0x61, 0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08,
+    0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52, 0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72,
+    0x82, 0x09, 0x0a, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45,
+    0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75,
+    0x76, 0x77, 0x78, 0x79, 0x7a, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a, 0xa2, 0xa3,
+    0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+    0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9,
+    0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2,
+    0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4,
+    0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa};
+
+constexpr std::uint8_t kAcChromaCounts[16] = {0, 2, 1, 2, 4, 4, 3, 4,
+                                              7, 5, 4, 4, 0, 1, 2, 0x77};
+constexpr std::uint8_t kAcChromaSymbols[] = {
+    0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41,
+    0x51, 0x07, 0x61, 0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+    0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33, 0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1,
+    0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25, 0xf1, 0x17, 0x18, 0x19, 0x1a, 0x26,
+    0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44,
+    0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+    0x59, 0x5a, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74,
+    0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+    0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99, 0x9a,
+    0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4,
+    0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
+    0xc8, 0xc9, 0xca, 0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda,
+    0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8, 0xe9, 0xea, 0xf2, 0xf3, 0xf4,
+    0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa};
+
+std::array<std::uint16_t, 64> scale_table(
+    const std::array<std::uint16_t, 64>& base, int quality) {
+  quality = quality < 1 ? 1 : (quality > 100 ? 100 : quality);
+  int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<std::uint16_t, 64> out{};
+  for (int i = 0; i < 64; ++i) {
+    int v = (base[i] * scale + 50) / 100;
+    out[i] = static_cast<std::uint16_t>(v < 1 ? 1 : (v > 255 ? 255 : v));
+  }
+  return out;
+}
+
+struct Plane {
+  int w = 0, h = 0;
+  std::vector<std::uint8_t> px;
+  std::uint8_t at(int x, int y) const {
+    x = x < 0 ? 0 : (x >= w ? w - 1 : x);
+    y = y < 0 ? 0 : (y >= h ? h - 1 : y);
+    return px[static_cast<std::size_t>(y) * w + x];
+  }
+};
+
+void be16(std::vector<std::uint8_t>& v, std::uint16_t x) {
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+  v.push_back(static_cast<std::uint8_t>(x));
+}
+
+void write_dht(std::vector<std::uint8_t>& out, int klass, int id,
+               const HuffmanTable& t) {
+  out.push_back(0xFF);
+  out.push_back(0xC4);
+  std::size_t total = t.symbols().size();
+  be16(out, static_cast<std::uint16_t>(2 + 1 + 16 + total));
+  out.push_back(static_cast<std::uint8_t>((klass << 4) | id));
+  out.insert(out.end(), t.counts().begin(), t.counts().end());
+  out.insert(out.end(), t.symbols().begin(), t.symbols().end());
+}
+
+int magnitude_bits(int v) {
+  int a = v < 0 ? -v : v;
+  int n = 0;
+  while (a != 0) {
+    ++n;
+    a >>= 1;
+  }
+  return n;
+}
+
+// Tallies the (run,size) symbol frequencies the scan encoder will emit, for
+// the optimize_huffman path (what jpegtran -optimize does).
+void count_block_symbols(const std::int16_t* blk, std::int16_t& dc_pred,
+                         std::uint64_t* dc_freq, std::uint64_t* ac_freq) {
+  int diff = blk[0] - dc_pred;
+  dc_pred = blk[0];
+  ++dc_freq[magnitude_bits(diff)];
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    int c = blk[kZigzag[k]];
+    if (c == 0) {
+      ++run;
+      continue;
+    }
+    while (run > 15) {
+      ++ac_freq[0xF0];
+      run -= 16;
+    }
+    ++ac_freq[(run << 4) | magnitude_bits(c)];
+    run = 0;
+  }
+  if (run > 0) ++ac_freq[0x00];
+}
+
+}  // namespace
+
+std::array<std::uint16_t, 64> quality_scaled_luma_table(int quality) {
+  return scale_table(kLumaQ, quality);
+}
+std::array<std::uint16_t, 64> quality_scaled_chroma_table(int quality) {
+  return scale_table(kChromaQ, quality);
+}
+
+std::vector<std::uint8_t> build_jfif(const RasterImage& img,
+                                     const JfifOptions& opt) {
+  const bool gray = img.channels == 1;
+  const int ncomp = gray ? 1 : 3;
+  int hs = 1, vs = 1;
+  if (!gray) {
+    switch (opt.subsampling) {
+      case Subsampling::k444: hs = 1; vs = 1; break;
+      case Subsampling::k422: hs = 2; vs = 1; break;
+      case Subsampling::k420: hs = 2; vs = 2; break;
+    }
+  }
+
+  // ---- Build a JpegFile describing the frame (the scan encoder's view).
+  JpegFile jf;
+  jf.restart_interval = opt.restart_interval_mcus;
+  auto lq = quality_scaled_luma_table(opt.quality);
+  jf.qtables[0].q = lq;
+  jf.qtables[0].defined = true;
+  if (!gray) {
+    jf.qtables[1].q = quality_scaled_chroma_table(opt.quality);
+    jf.qtables[1].defined = true;
+  }
+  FrameInfo& fr = jf.frame;
+  fr.width = img.width;
+  fr.height = img.height;
+  fr.precision = 8;
+  for (int c = 0; c < ncomp; ++c) {
+    ComponentInfo ci;
+    ci.id = c + 1;
+    ci.h_samp = c == 0 ? hs : 1;
+    ci.v_samp = c == 0 ? vs : 1;
+    ci.quant_idx = c == 0 ? 0 : 1;
+    ci.dc_tbl = c == 0 ? 0 : 1;
+    ci.ac_tbl = c == 0 ? 0 : 1;
+    fr.comps.push_back(ci);
+  }
+  fr.hmax = gray ? 1 : hs;
+  fr.vmax = gray ? 1 : vs;
+  if (gray) {
+    fr.comps[0].h_samp = fr.comps[0].v_samp = 1;
+    fr.comps[0].width_blocks = (fr.width + 7) / 8;
+    fr.comps[0].height_blocks = (fr.height + 7) / 8;
+    fr.mcus_x = fr.comps[0].width_blocks;
+    fr.mcus_y = fr.comps[0].height_blocks;
+  } else {
+    fr.mcus_x = (fr.width + fr.hmax * 8 - 1) / (fr.hmax * 8);
+    fr.mcus_y = (fr.height + fr.vmax * 8 - 1) / (fr.vmax * 8);
+    for (auto& ci : fr.comps) {
+      ci.width_blocks = fr.mcus_x * ci.h_samp;
+      ci.height_blocks = fr.mcus_y * ci.v_samp;
+    }
+  }
+
+  // ---- Color convert + subsample into per-component planes.
+  std::vector<Plane> planes(ncomp);
+  if (gray) {
+    planes[0].w = img.width;
+    planes[0].h = img.height;
+    planes[0].px = img.pixels;
+  } else {
+    Plane y, cb, cr;
+    y.w = cb.w = cr.w = img.width;
+    y.h = cb.h = cr.h = img.height;
+    y.px.resize(static_cast<std::size_t>(img.width) * img.height);
+    cb.px.resize(y.px.size());
+    cr.px.resize(y.px.size());
+    for (int r = 0; r < img.height; ++r) {
+      for (int x = 0; x < img.width; ++x) {
+        double R = img.at(x, r, 0), G = img.at(x, r, 1), B = img.at(x, r, 2);
+        double Y = 0.299 * R + 0.587 * G + 0.114 * B;
+        double Cb = -0.168736 * R - 0.331264 * G + 0.5 * B + 128.0;
+        double Cr = 0.5 * R - 0.418688 * G - 0.081312 * B + 128.0;
+        auto clamp8 = [](double v) {
+          return static_cast<std::uint8_t>(v < 0 ? 0
+                                                 : (v > 255 ? 255 : v + 0.5));
+        };
+        std::size_t idx = static_cast<std::size_t>(r) * img.width + x;
+        y.px[idx] = clamp8(Y);
+        cb.px[idx] = clamp8(Cb);
+        cr.px[idx] = clamp8(Cr);
+      }
+    }
+    planes[0] = std::move(y);
+    // Box-filter chroma down by the sampling ratio.
+    auto downsample = [&](const Plane& src) {
+      Plane d;
+      d.w = (img.width + hs - 1) / hs;
+      d.h = (img.height + vs - 1) / vs;
+      d.px.resize(static_cast<std::size_t>(d.w) * d.h);
+      for (int ry = 0; ry < d.h; ++ry) {
+        for (int rx = 0; rx < d.w; ++rx) {
+          int sum = 0, n = 0;
+          for (int dy = 0; dy < vs; ++dy) {
+            for (int dx = 0; dx < hs; ++dx) {
+              int sx = rx * hs + dx, sy = ry * vs + dy;
+              if (sx < img.width && sy < img.height) {
+                sum += src.at(sx, sy);
+                ++n;
+              }
+            }
+          }
+          d.px[static_cast<std::size_t>(ry) * d.w + rx] =
+              static_cast<std::uint8_t>((sum + n / 2) / n);
+        }
+      }
+      return d;
+    };
+    planes[1] = downsample(cb);
+    planes[2] = downsample(cr);
+  }
+
+  // ---- Forward DCT + quantization into the coefficient image.
+  CoeffImage ci;
+  ci.comps.resize(ncomp);
+  for (int c = 0; c < ncomp; ++c) {
+    const auto& comp = fr.comps[c];
+    auto& cc = ci.comps[c];
+    cc.resize(comp.width_blocks, comp.height_blocks);
+    const auto& q = jf.qtables[comp.quant_idx].q;
+    const Plane& pl = planes[c];
+    std::uint8_t blockpx[64];
+    for (int by = 0; by < comp.height_blocks; ++by) {
+      for (int bx = 0; bx < comp.width_blocks; ++bx) {
+        for (int yy = 0; yy < 8; ++yy) {
+          for (int xx = 0; xx < 8; ++xx) {
+            blockpx[yy * 8 + xx] = pl.at(bx * 8 + xx, by * 8 + yy);
+          }
+        }
+        double coef[64];
+        fdct_8x8(blockpx, 8, coef);
+        std::int16_t* out = cc.block(bx, by);
+        for (int k = 0; k < 64; ++k) {
+          long qv = std::lround(coef[k] / q[k]);
+          if (qv > 1023) qv = 1023;
+          if (qv < -1024) qv = -1024;
+          out[k] = static_cast<std::int16_t>(qv);
+        }
+      }
+    }
+  }
+
+  // ---- Huffman tables (standard Annex K or per-file optimal).
+  if (opt.optimize_huffman) {
+    std::uint64_t dc_freq[2][12] = {};
+    std::uint64_t ac_freq[2][256] = {};
+    std::array<std::int16_t, 4> dc_pred{};
+    std::uint32_t mcus = 0;
+    for (int my = 0; my < fr.mcus_y; ++my) {
+      for (int mx = 0; mx < fr.mcus_x; ++mx) {
+        if (jf.restart_interval > 0 && mcus > 0 &&
+            mcus % jf.restart_interval == 0) {
+          dc_pred.fill(0);
+        }
+        for (int c = 0; c < ncomp; ++c) {
+          const auto& comp = fr.comps[c];
+          int ti = c == 0 ? 0 : 1;
+          for (int sy = 0; sy < comp.v_samp; ++sy) {
+            for (int sx = 0; sx < comp.h_samp; ++sx) {
+              int bx = gray ? mx : mx * comp.h_samp + sx;
+              int by = gray ? my : my * comp.v_samp + sy;
+              count_block_symbols(ci.comps[c].block(bx, by), dc_pred[c],
+                                  dc_freq[ti], ac_freq[ti]);
+            }
+          }
+        }
+        ++mcus;
+      }
+    }
+    jf.dc_tables[0] = build_optimal_table({dc_freq[0], 12});
+    jf.ac_tables[0] = build_optimal_table({ac_freq[0], 256});
+    if (!gray) {
+      jf.dc_tables[1] = build_optimal_table({dc_freq[1], 12});
+      jf.ac_tables[1] = build_optimal_table({ac_freq[1], 256});
+    }
+  } else {
+    jf.dc_tables[0] = HuffmanTable::build(kDcLumaCounts, kDcSymbols);
+    jf.ac_tables[0] = HuffmanTable::build(
+        kAcLumaCounts, {kAcLumaSymbols, sizeof(kAcLumaSymbols)});
+    if (!gray) {
+      jf.dc_tables[1] = HuffmanTable::build(kDcChromaCounts, kDcSymbols);
+      jf.ac_tables[1] = HuffmanTable::build(
+          kAcChromaCounts, {kAcChromaSymbols, sizeof(kAcChromaSymbols)});
+    }
+  }
+
+  // ---- Header bytes.
+  std::vector<std::uint8_t> out;
+  out.push_back(0xFF);
+  out.push_back(0xD8);  // SOI
+  // APP0 / JFIF.
+  out.push_back(0xFF);
+  out.push_back(0xE0);
+  be16(out, 16);
+  const char jfif[5] = {'J', 'F', 'I', 'F', '\0'};
+  out.insert(out.end(), jfif, jfif + 5);
+  out.push_back(1);
+  out.push_back(1);  // version 1.1
+  out.push_back(0);  // aspect-ratio units
+  be16(out, 1);
+  be16(out, 1);
+  out.push_back(0);
+  out.push_back(0);  // no thumbnail
+  if (!opt.comment.empty()) {
+    out.push_back(0xFF);
+    out.push_back(0xFE);
+    be16(out, static_cast<std::uint16_t>(2 + opt.comment.size()));
+    out.insert(out.end(), opt.comment.begin(), opt.comment.end());
+  }
+  // DQT.
+  out.push_back(0xFF);
+  out.push_back(0xDB);
+  be16(out, static_cast<std::uint16_t>(2 + (gray ? 1 : 2) * 65));
+  for (int t = 0; t < (gray ? 1 : 2); ++t) {
+    out.push_back(static_cast<std::uint8_t>(t));
+    for (int k = 0; k < 64; ++k) {
+      out.push_back(static_cast<std::uint8_t>(jf.qtables[t].q[kZigzag[k]]));
+    }
+  }
+  // SOF0.
+  out.push_back(0xFF);
+  out.push_back(0xC0);
+  be16(out, static_cast<std::uint16_t>(8 + 3 * ncomp));
+  out.push_back(8);
+  be16(out, static_cast<std::uint16_t>(fr.height));
+  be16(out, static_cast<std::uint16_t>(fr.width));
+  out.push_back(static_cast<std::uint8_t>(ncomp));
+  for (int c = 0; c < ncomp; ++c) {
+    out.push_back(static_cast<std::uint8_t>(c + 1));
+    int h = c == 0 ? hs : 1, v = c == 0 ? vs : 1;
+    if (gray) h = v = 1;
+    out.push_back(static_cast<std::uint8_t>((h << 4) | v));
+    out.push_back(static_cast<std::uint8_t>(c == 0 ? 0 : 1));
+  }
+  // DHT.
+  write_dht(out, 0, 0, jf.dc_tables[0]);
+  write_dht(out, 1, 0, jf.ac_tables[0]);
+  if (!gray) {
+    write_dht(out, 0, 1, jf.dc_tables[1]);
+    write_dht(out, 1, 1, jf.ac_tables[1]);
+  }
+  // DRI.
+  if (opt.restart_interval_mcus > 0) {
+    out.push_back(0xFF);
+    out.push_back(0xDD);
+    be16(out, 4);
+    be16(out, static_cast<std::uint16_t>(opt.restart_interval_mcus));
+  }
+  // SOS.
+  out.push_back(0xFF);
+  out.push_back(0xDA);
+  be16(out, static_cast<std::uint16_t>(6 + 2 * ncomp));
+  out.push_back(static_cast<std::uint8_t>(ncomp));
+  for (int c = 0; c < ncomp; ++c) {
+    out.push_back(static_cast<std::uint8_t>(c + 1));
+    int t = c == 0 ? 0 : 1;
+    out.push_back(static_cast<std::uint8_t>((t << 4) | t));
+  }
+  out.push_back(0);
+  out.push_back(63);
+  out.push_back(0);
+
+  // ---- Scan bytes.
+  std::uint32_t total_mcus =
+      static_cast<std::uint32_t>(fr.mcus_x) * static_cast<std::uint32_t>(fr.mcus_y);
+  std::uint32_t rst_limit =
+      opt.restart_interval_mcus > 0
+          ? (total_mcus - 1) / static_cast<std::uint32_t>(opt.restart_interval_mcus)
+          : 0;
+  auto scan = encode_scan(jf, ci, opt.pad_bit, rst_limit);
+  out.insert(out.end(), scan.begin(), scan.end());
+  out.push_back(0xFF);
+  out.push_back(0xD9);  // EOI
+  return out;
+}
+
+}  // namespace lepton::jpegfmt

@@ -1,0 +1,48 @@
+// Authors valid baseline JFIF files from raw images.
+//
+// The paper's benchmark corpus is 233k random user chunks from the Dropbox
+// store (§4); we cannot have those, so the corpus module synthesizes images
+// and this builder turns them into real baseline JPEGs — full pipeline:
+// RGB→YCbCr, subsampling, forward DCT, IJG quality-scaled quantization,
+// standard (or optimized) Huffman tables, byte stuffing, optional restart
+// markers. The output bytes are ground truth for every round-trip test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpeg/jpeg_types.h"
+
+namespace lepton::jpegfmt {
+
+enum class Subsampling { k444, k422, k420 };
+
+struct RasterImage {
+  int width = 0;
+  int height = 0;
+  int channels = 3;  // 3 = RGB, 1 = grayscale
+  std::vector<std::uint8_t> pixels;  // row-major, interleaved
+
+  std::uint8_t at(int x, int y, int c) const {
+    return pixels[(static_cast<std::size_t>(y) * width + x) * channels + c];
+  }
+};
+
+struct JfifOptions {
+  int quality = 85;            // IJG 1..100 scale
+  Subsampling subsampling = Subsampling::k420;
+  int restart_interval_mcus = 0;  // 0 = no RST markers
+  bool optimize_huffman = false;  // build per-file optimal tables
+  std::uint8_t pad_bit = 1;       // polarity for alignment padding
+  std::vector<std::uint8_t> comment;  // optional COM payload (header bulk)
+};
+
+// Encodes `img` as a baseline JFIF byte stream.
+std::vector<std::uint8_t> build_jfif(const RasterImage& img,
+                                     const JfifOptions& opt);
+
+// IJG-scaled quantization table for a quality setting (Annex K tables).
+std::array<std::uint16_t, 64> quality_scaled_luma_table(int quality);
+std::array<std::uint16_t, 64> quality_scaled_chroma_table(int quality);
+
+}  // namespace lepton::jpegfmt

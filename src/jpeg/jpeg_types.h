@@ -1,0 +1,133 @@
+// Shared data model for the baseline-JPEG substrate: quantization and
+// Huffman table containers, frame/component geometry, and the coefficient
+// image the Lepton model operates on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/exit_codes.h"
+#include "util/tracked_memory.h"
+
+namespace lepton::jpegfmt {
+
+// Zigzag scan order: kZigzag[k] = natural (row*8+col) index of the k-th
+// zigzag position.
+inline constexpr std::array<std::uint8_t, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+// Inverse: kZigzagInv[natural] = zigzag position.
+inline constexpr std::array<std::uint8_t, 64> make_zigzag_inv() {
+  std::array<std::uint8_t, 64> inv{};
+  for (int k = 0; k < 64; ++k) inv[kZigzag[k]] = static_cast<std::uint8_t>(k);
+  return inv;
+}
+inline constexpr std::array<std::uint8_t, 64> kZigzagInv = make_zigzag_inv();
+
+// Classified parse/decode failure. Caught at the public API boundary and
+// converted into a Result carrying the §6.2 exit code.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(util::ExitCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  util::ExitCode code() const { return code_; }
+
+ private:
+  util::ExitCode code_;
+};
+
+struct QuantTable {
+  std::array<std::uint16_t, 64> q{};  // natural order
+  bool defined = false;
+};
+
+struct ComponentInfo {
+  int id = 0;          // component identifier from SOF
+  int h_samp = 1;      // horizontal sampling factor
+  int v_samp = 1;      // vertical sampling factor
+  int quant_idx = 0;   // DQT table selector
+  int dc_tbl = 0;      // DHT DC table selector (from SOS)
+  int ac_tbl = 0;      // DHT AC table selector (from SOS)
+  // Block-grid geometry (padded to full MCUs for interleaved scans).
+  int width_blocks = 0;
+  int height_blocks = 0;
+};
+
+struct FrameInfo {
+  int width = 0;
+  int height = 0;
+  int precision = 8;
+  std::vector<ComponentInfo> comps;
+  int hmax = 1;
+  int vmax = 1;
+  int mcus_x = 0;  // MCUs per row
+  int mcus_y = 0;  // MCU rows
+  int ncomp() const { return static_cast<int>(comps.size()); }
+  // Blocks per MCU across all components (interleaved scan).
+  int blocks_per_mcu() const {
+    int n = 0;
+    for (const auto& c : comps) n += c.h_samp * c.v_samp;
+    return n;
+  }
+};
+
+// Quantized DCT coefficients for one component, stored as a padded grid of
+// 8x8 blocks in natural (row-major u*8+v) order. Uses tracked allocation:
+// whole-image coefficient buffers dominate encode-side memory (§4.2) and
+// are what the Figure 3 bench measures.
+struct ComponentCoeffs {
+  int width_blocks = 0;
+  int height_blocks = 0;
+  util::tracked_vector<std::int16_t> data;  // width_blocks*height_blocks*64
+
+  void resize(int wb, int hb) {
+    width_blocks = wb;
+    height_blocks = hb;
+    data.assign(static_cast<std::size_t>(wb) * hb * 64, 0);
+  }
+  std::int16_t* block(int bx, int by) {
+    return data.data() + (static_cast<std::size_t>(by) * width_blocks + bx) * 64;
+  }
+  const std::int16_t* block(int bx, int by) const {
+    return data.data() + (static_cast<std::size_t>(by) * width_blocks + bx) * 64;
+  }
+};
+
+struct CoeffImage {
+  std::vector<ComponentCoeffs> comps;
+};
+
+// A position inside the entropy-coded scan, measured in *file* bytes from
+// the start of the scan data (stuffing bytes and RST markers included).
+// `bit_off` bits of the byte at `byte_off` have already been consumed.
+// This is the coordinate system of the Huffman handover words.
+struct ScanPos {
+  std::uint64_t byte_off = 0;
+  int bit_off = 0;
+};
+
+// Everything a Huffman writer needs to resume emitting the scan mid-stream:
+// the paper's "Huffman handover word" (§3.4) plus RST bookkeeping.
+struct HuffmanHandover {
+  ScanPos pos;                       // where in the scan this segment starts
+  std::uint8_t partial_byte = 0;     // already-decided high bits of that byte
+  std::array<std::int16_t, 4> dc_pred{};  // previous DC value per component
+  std::uint32_t mcus_done = 0;       // MCUs consumed before this point
+  std::uint32_t rst_seen = 0;        // RST markers consumed before this point
+};
+
+// Per-MCU-row record captured during the serial scan decode; segment and
+// chunk boundaries are chosen from these.
+struct RowBoundary {
+  HuffmanHandover handover;
+  int mcu_row = 0;
+};
+
+}  // namespace lepton::jpegfmt

@@ -1,0 +1,55 @@
+// Baseline-JPEG container parser. Walks the marker structure, collects
+// quantization/Huffman tables and frame geometry, locates the entropy-coded
+// scan, and classifies everything the production system rejects
+// (progressive, CMYK, exotic sampling, header-only files, non-images) into
+// the §6.2 exit-code taxonomy via ParseError.
+//
+// The parser never trusts input: every length, index and table reference is
+// validated (the uncmpjpg lessons of §6.7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jpeg/huffman_table.h"
+#include "jpeg/jpeg_types.h"
+
+namespace lepton::jpegfmt {
+
+struct JpegFile {
+  std::vector<std::uint8_t> file;  // complete original bytes
+
+  std::size_t scan_begin = 0;  // offset of first entropy-coded byte
+  std::size_t scan_end = 0;    // offset one past the last entropy-coded byte
+  bool has_eoi = false;        // EOI marker present after the scan
+  std::size_t trailing_begin = 0;  // offset of bytes after EOI (== size if none)
+
+  FrameInfo frame;
+  std::array<QuantTable, 4> qtables;
+  std::array<HuffmanTable, 4> dc_tables;
+  std::array<HuffmanTable, 4> ac_tables;
+  int restart_interval = 0;  // DRI, in MCUs; 0 = no restarts
+
+  std::span<const std::uint8_t> header_bytes() const {
+    return {file.data(), scan_begin};
+  }
+  std::span<const std::uint8_t> scan_bytes() const {
+    return {file.data() + scan_begin, scan_end - scan_begin};
+  }
+  std::span<const std::uint8_t> trailing_bytes() const {
+    return {file.data() + trailing_begin, file.size() - trailing_begin};
+  }
+};
+
+// Parses and validates a baseline JPEG. Throws ParseError with the §6.2
+// classification on anything the system does not admit.
+JpegFile parse_jpeg(std::span<const std::uint8_t> bytes);
+
+// Parses header bytes alone (SOI .. end of SOS header, no scan data). Used
+// by chunk decoders: every Lepton chunk embeds the JPEG header so it can be
+// decoded without access to other chunks (§3.4).
+JpegFile parse_jpeg_header(std::span<const std::uint8_t> header_bytes);
+
+}  // namespace lepton::jpegfmt

@@ -1,0 +1,301 @@
+#include "jpeg/scan_decoder.h"
+
+#include <cstring>
+
+namespace lepton::jpegfmt {
+namespace {
+
+using util::ExitCode;
+
+[[noreturn]] void fail(ExitCode c, const char* msg) {
+  throw ParseError(c, msg);
+}
+
+// Bit reader over the entropy-coded segment that understands 0xFF00 byte
+// stuffing and stops (without consuming) at markers. It can report, at any
+// bit position, the *file-byte* offset containing the next unconsumed bit —
+// the coordinate a Huffman handover word records. Copyable so RST detection
+// can speculate and roll back.
+class StuffedBitReader {
+ public:
+  explicit StuffedBitReader(std::span<const std::uint8_t> scan) : d_(scan) {}
+
+  // Returns 0/1, or -1 at end of entropy data (marker or end of span).
+  int get_bit() {
+    if (wbits_ == 0 && !refill()) return -1;
+    --wbits_;
+    ++consumed_;
+    return static_cast<int>((window_ >> wbits_) & 1u);
+  }
+
+  // Returns the value of `n` bits MSB-first, or -1 on truncation.
+  std::int32_t get_bits(int n) {
+    std::int32_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      int b = get_bit();
+      if (b < 0) return -1;
+      v = (v << 1) | b;
+    }
+    return v;
+  }
+
+  // Position of the next unconsumed bit, in scan-relative byte space.
+  ScanPos pos() const {
+    std::uint64_t byte_idx = consumed_ / 8;
+    int bit_off = static_cast<int>(consumed_ % 8);
+    if (byte_idx >= n_loaded_) {
+      // Next byte not yet loaded; it will be read from pos_.
+      return {pos_, 0};
+    }
+    return {offsets_[byte_idx & 15], bit_off};
+  }
+
+  // High `bit_off` bits of the byte at pos() that were already consumed
+  // (the "partial byte" of the handover word). Low bits are zeroed.
+  std::uint8_t partial_byte() const {
+    ScanPos p = pos();
+    if (p.bit_off == 0) return 0;
+    std::uint8_t b = d_[p.byte_off];
+    return static_cast<std::uint8_t>(b & ~((1u << (8 - p.bit_off)) - 1u));
+  }
+
+  bool byte_aligned() const { return consumed_ % 8 == 0; }
+  int bits_into_byte() const { return static_cast<int>(consumed_ % 8); }
+
+  // After all entropy data is consumed, true iff every scan byte was used.
+  bool fully_consumed() const { return wbits_ == 0 && pos_ >= d_.size(); }
+
+  // If the next bytes are an RST marker with the expected index, consume it
+  // and return true. Requires an empty bit window (callers consume padding
+  // first), so consumed_ == 8 * n_loaded_ and pos() already reports the
+  // next-load offset — advancing pos_ past the marker keeps it exact.
+  bool consume_rst_marker(int expected_index) {
+    if (wbits_ != 0) return false;
+    if (pos_ + 1 >= d_.size()) return false;
+    if (d_[pos_] != 0xFF) return false;
+    std::uint8_t m = d_[pos_ + 1];
+    if (m != 0xD0 + expected_index) return false;
+    pos_ += 2;
+    return true;
+  }
+
+ private:
+  bool refill() {
+    while (wbits_ <= 56) {
+      if (pos_ >= d_.size()) break;
+      std::uint8_t b = d_[pos_];
+      if (b == 0xFF) {
+        if (pos_ + 1 >= d_.size()) break;  // lone 0xFF at end: stop
+        if (d_[pos_ + 1] != 0x00) break;   // marker: stop before it
+        record_loaded(pos_);
+        pos_ += 2;  // skip the stuffed 0x00 together with its 0xFF
+        push(0xFF);
+      } else {
+        record_loaded(pos_);
+        pos_ += 1;
+        push(b);
+      }
+    }
+    return wbits_ > 0;
+  }
+
+  void push(std::uint8_t b) {
+    window_ = (window_ << 8) | b;
+    wbits_ += 8;
+  }
+  void record_loaded(std::uint64_t off) { offsets_[n_loaded_++ & 15] = off; }
+
+  std::span<const std::uint8_t> d_;
+  std::uint64_t pos_ = 0;       // next byte to load
+  std::uint64_t window_ = 0;    // right-justified unconsumed bits
+  int wbits_ = 0;
+  std::uint64_t consumed_ = 0;  // total data bits consumed
+  std::uint64_t n_loaded_ = 0;  // total data bytes loaded
+  std::uint64_t offsets_[16] = {};  // ring: file offset of each loaded byte
+};
+
+int extend_sign(std::int32_t v, int size) {
+  // T.81 F.2.2.1 EXTEND: values with the high bit clear are negative.
+  if (v < (1 << (size - 1))) return v - (1 << size) + 1;
+  return v;
+}
+
+struct McuPos {
+  int comp;
+  int bx;
+  int by;
+};
+
+}  // namespace
+
+ScanDecodeResult decode_scan(const JpegFile& jf) {
+  const FrameInfo& fr = jf.frame;
+  ScanDecodeResult out;
+  out.coeffs.comps.resize(fr.comps.size());
+  std::uint64_t total_blocks = 0;
+  for (std::size_t ci = 0; ci < fr.comps.size(); ++ci) {
+    const auto& comp = fr.comps[ci];
+    out.coeffs.comps[ci].resize(comp.width_blocks, comp.height_blocks);
+    total_blocks += static_cast<std::uint64_t>(comp.width_blocks) *
+                    comp.height_blocks;
+  }
+  // Encode-side memory budget (§6.2 ">178 MiB mem encode"): the encoder
+  // must hold the whole coefficient image (§4.2).
+  if (total_blocks * 128 > 178ull << 20) {
+    fail(ExitCode::kMemLimitEncode, "coefficient image exceeds encode budget");
+  }
+
+  StuffedBitReader rd(jf.scan_bytes());
+  std::array<std::int16_t, 4> dc_pred{};
+  std::uint32_t mcus_done = 0;
+  std::uint32_t rst_seen = 0;
+  bool rst_ceased = false;
+  const int dri = jf.restart_interval;
+  const std::uint32_t total_mcus =
+      static_cast<std::uint32_t>(fr.mcus_x) * static_cast<std::uint32_t>(fr.mcus_y);
+  if (total_mcus == 0) fail(ExitCode::kUnsupportedJpeg, "no MCUs");
+
+  // Per-MCU block layout (component, intra-MCU block coordinates).
+  std::vector<McuPos> layout;
+  for (int ci = 0; ci < fr.ncomp(); ++ci) {
+    const auto& comp = fr.comps[ci];
+    for (int by = 0; by < comp.v_samp; ++by) {
+      for (int bx = 0; bx < comp.h_samp; ++bx) {
+        layout.push_back({ci, bx, by});
+      }
+    }
+  }
+
+  auto next_bit = [&rd]() -> std::uint32_t {
+    int b = rd.get_bit();
+    if (b < 0) fail(ExitCode::kUnsupportedJpeg, "truncated scan");
+    return static_cast<std::uint32_t>(b);
+  };
+
+  auto capture_handover = [&]() {
+    HuffmanHandover h;
+    h.pos = rd.pos();
+    h.partial_byte = rd.partial_byte();
+    h.dc_pred = dc_pred;
+    h.mcus_done = mcus_done;
+    h.rst_seen = rst_seen;
+    return h;
+  };
+
+  for (int my = 0; my < fr.mcus_y; ++my) {
+    out.row_boundaries.push_back({capture_handover(), my});
+    for (int mx = 0; mx < fr.mcus_x; ++mx) {
+      // Restart marker handling (T.81 E.1.4), tolerant of zero-wiped tails:
+      // once an expected marker is absent we stop looking for them (§A.3).
+      if (dri > 0 && mcus_done > 0 && mcus_done % dri == 0 && !rst_ceased) {
+        StuffedBitReader save = rd;
+        int pad_n = (8 - rd.bits_into_byte()) % 8;
+        bool pad_ok = true;
+        std::uint8_t first_pad = out.pad_bit;
+        bool first_seen = out.pad_bit_seen;
+        for (int i = 0; i < pad_n && pad_ok; ++i) {
+          int b = rd.get_bit();
+          if (b < 0) {
+            pad_ok = false;
+          } else if (!first_seen) {
+            first_pad = static_cast<std::uint8_t>(b);
+            first_seen = true;
+          } else if (b != first_pad) {
+            pad_ok = false;
+          }
+        }
+        if (pad_ok && rd.consume_rst_marker(static_cast<int>(rst_seen % 8))) {
+          out.pad_bit = first_pad;
+          out.pad_bit_seen = first_seen;
+          out.stats.bits_overhead += pad_n + 16;
+          ++rst_seen;
+          dc_pred.fill(0);
+        } else {
+          rd = save;  // no marker: zero-wiped or non-conforming region
+          rst_ceased = true;
+        }
+      }
+
+      for (const auto& mp : layout) {
+        const auto& comp = fr.comps[mp.comp];
+        auto& cc = out.coeffs.comps[mp.comp];
+        int bx = (fr.ncomp() == 1) ? mx : mx * comp.h_samp + mp.bx;
+        int by = (fr.ncomp() == 1) ? my : my * comp.v_samp + mp.by;
+        std::int16_t* blk = cc.block(bx, by);
+
+        // ---- DC ----
+        const auto& dct = jf.dc_tables[comp.dc_tbl];
+        const auto& act = jf.ac_tables[comp.ac_tbl];
+        int s = dct.decode(next_bit);
+        if (s < 0) fail(ExitCode::kUnsupportedJpeg, "bad DC code");
+        if (s > 11) fail(ExitCode::kAcOutOfRange, "DC size > 11");
+        out.stats.bits_dc += dct.code_length(static_cast<std::uint8_t>(s));
+        int diff = 0;
+        if (s > 0) {
+          std::int32_t raw = rd.get_bits(s);
+          if (raw < 0) fail(ExitCode::kUnsupportedJpeg, "truncated DC bits");
+          diff = extend_sign(raw, s);
+          out.stats.bits_dc += s;
+        }
+        int dc = dc_pred[mp.comp] + diff;
+        if (dc < -2048 || dc > 2047) {
+          fail(ExitCode::kAcOutOfRange, "DC out of range");
+        }
+        dc_pred[mp.comp] = static_cast<std::int16_t>(dc);
+        blk[0] = static_cast<std::int16_t>(dc);
+
+        // ---- AC ----
+        int k = 1;
+        while (k < 64) {
+          int rs = act.decode(next_bit);
+          if (rs < 0) fail(ExitCode::kUnsupportedJpeg, "bad AC code");
+          int run = rs >> 4;
+          int size = rs & 15;
+          int sym_bits = act.code_length(static_cast<std::uint8_t>(rs));
+          if (size == 0) {
+            out.stats.bits_overhead += sym_bits;
+            if (run == 15) {
+              k += 16;  // ZRL
+              continue;
+            }
+            break;  // EOB
+          }
+          if (size > 10) fail(ExitCode::kAcOutOfRange, "AC size > 10");
+          k += run;
+          if (k > 63) fail(ExitCode::kUnsupportedJpeg, "AC run overflow");
+          std::int32_t raw = rd.get_bits(size);
+          if (raw < 0) fail(ExitCode::kUnsupportedJpeg, "truncated AC bits");
+          int natural = kZigzag[k];
+          blk[natural] = static_cast<std::int16_t>(extend_sign(raw, size));
+          int row = natural >> 3, col = natural & 7;
+          if (row == 0 || col == 0) {
+            out.stats.bits_edge += sym_bits + size;
+          } else {
+            out.stats.bits_ac77 += sym_bits + size;
+          }
+          ++k;
+        }
+      }
+      ++mcus_done;
+    }
+  }
+
+  out.end_state = capture_handover();
+  out.rst_count = rst_seen;
+
+  // Everything after the last coefficient bit — the final pad byte in the
+  // common case, zero-run tails (§A.3) otherwise — is preserved verbatim:
+  // the format's "arbitrary data to append to the output" (§A.1). A
+  // re-encode emits complete bytes up to end_state.pos.byte_off and then
+  // appends these.
+  auto scan = jf.scan_bytes();
+  std::uint64_t tail_begin = out.end_state.pos.byte_off;
+  if (tail_begin > scan.size()) {
+    fail(ExitCode::kImpossible, "scan position beyond scan end");
+  }
+  out.trailing_scan.assign(scan.begin() + static_cast<std::ptrdiff_t>(tail_begin),
+                           scan.end());
+  return out;
+}
+
+}  // namespace lepton::jpegfmt

@@ -1,0 +1,54 @@
+// Entropy-coded scan decoder: Huffman-coded scan bytes → quantized DCT
+// coefficient blocks.
+//
+// Beyond plain decoding, this module captures everything Lepton's format
+// needs to re-create the scan byte-exactly and in parallel:
+//   * a HuffmanHandover record at every MCU-row boundary (bit offset,
+//     partial byte, per-component DC predictors, RST phase) — the raw
+//     material for thread-segment and 4-MiB-chunk splits (§3.4),
+//   * the observed pad-bit polarity (§A.3),
+//   * the number of RST markers actually present, so files whose tails were
+//     zero-wiped still round-trip (§A.3's "RST count" fix),
+//   * per-category bit tallies (DC / 7x7 AC / edge AC) for the Figure 4
+//     component breakdown.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jpeg/jpeg_types.h"
+#include "jpeg/parser.h"
+
+namespace lepton::jpegfmt {
+
+struct ScanStats {
+  std::uint64_t bits_dc = 0;      // DC symbols + magnitude bits
+  std::uint64_t bits_ac77 = 0;    // AC coefficients in the 7x7 interior
+  std::uint64_t bits_edge = 0;    // AC coefficients in the 7x1/1x7 edges
+  std::uint64_t bits_overhead = 0;  // EOB/ZRL/padding/marker bits
+};
+
+struct ScanDecodeResult {
+  CoeffImage coeffs;
+  // Boundary state at the start of each MCU row (index == mcu row).
+  std::vector<RowBoundary> row_boundaries;
+  // State after the final MCU, before trailing padding.
+  HuffmanHandover end_state;
+  std::uint32_t rst_count = 0;  // RST markers actually present in the file
+  std::uint8_t pad_bit = 1;     // observed pad polarity (default 1)
+  bool pad_bit_seen = false;
+  // Scan bytes from end_state.pos.byte_off to the end of the scan, stored
+  // verbatim: the final pad byte in the common case; zero-run tails and
+  // other unrepresentable residue otherwise. This is the §A.1 format's
+  // "arbitrary data to append to the output". The first byte's high
+  // end_state.pos.bit_off bits coincide with end_state.partial_byte.
+  std::vector<std::uint8_t> trailing_scan;
+  ScanStats stats;
+};
+
+// Decodes the full scan. Throws ParseError on anything that cannot be
+// represented for an exact round trip (truncation, garbage trailing the
+// final MCU, inconsistent padding, out-of-range coefficients).
+ScanDecodeResult decode_scan(const JpegFile& jf);
+
+}  // namespace lepton::jpegfmt

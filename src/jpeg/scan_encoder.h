@@ -1,0 +1,75 @@
+// Entropy-coded scan encoder: coefficient blocks → the exact original
+// Huffman-coded scan bytes.
+//
+// The encoder is *resumable*: it can start from a HuffmanHandover captured
+// mid-file (bit offset, partial byte, DC predictors, RST phase) and emit
+// only the byte range belonging to one thread segment or storage chunk.
+// Outputs of consecutive segments concatenate bit-exactly — this is the
+// decoder half of the paper's "Huffman handover word" design (§3.4): it is
+// what lets Lepton's decode be multithreaded and chunk-distributed even
+// though the user's original JPEG was written serially.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "jpeg/jpeg_types.h"
+#include "jpeg/parser.h"
+
+namespace lepton::jpegfmt {
+
+struct ScanEncodeParams {
+  int start_mcu_row = 0;
+  int end_mcu_row = 0;        // exclusive
+  HuffmanHandover handover;   // writer state at start_mcu_row
+  std::uint8_t pad_bit = 1;
+  std::uint32_t rst_count_limit = 0;  // stop inserting RSTs after this many
+  bool final_segment = false;         // emit trailing padding when done
+};
+
+// Re-encodes MCU rows [start, end) of `coeffs` under the tables in `jf`.
+// Returns only *complete* bytes; trailing partial-byte state is returned via
+// `handover_out` so the next segment can resume. `handover_out.pos.byte_off`
+// advances by the number of scan bytes this segment is responsible for.
+std::vector<std::uint8_t> encode_scan_rows(const JpegFile& jf,
+                                           const CoeffImage& coeffs,
+                                           const ScanEncodeParams& params,
+                                           HuffmanHandover* handover_out);
+
+// Block-source variant for streaming decoders that hold only a ring of
+// rows instead of a whole CoeffImage (the Lepton decode path, §1 "Memory").
+using BlockSourceFn =
+    std::function<const std::int16_t*(int comp, int bx, int by)>;
+std::vector<std::uint8_t> encode_scan_rows_fn(const JpegFile& jf,
+                                              const BlockSourceFn& source,
+                                              const ScanEncodeParams& params,
+                                              HuffmanHandover* handover_out);
+
+// Convenience: re-encode the entire scan in one call (single-threaded
+// verification path).
+std::vector<std::uint8_t> encode_scan(const JpegFile& jf,
+                                      const CoeffImage& coeffs,
+                                      std::uint8_t pad_bit,
+                                      std::uint32_t rst_count_limit);
+
+struct ScanDecodeResult;  // fwd (scan_decoder.h)
+
+}  // namespace lepton::jpegfmt
+
+#include "jpeg/scan_decoder.h"
+
+namespace lepton::jpegfmt {
+
+// Rebuilds the complete original scan from a decode result: every MCU row,
+// no synthetic final padding, plus the verbatim trailing bytes. The result
+// is byte-identical to JpegFile::scan_bytes() for any file decode_scan
+// accepted.
+std::vector<std::uint8_t> reconstruct_scan(const JpegFile& jf,
+                                           const ScanDecodeResult& dec);
+
+// Full original file: header + reconstructed scan + EOI + trailing garbage.
+std::vector<std::uint8_t> reconstruct_file(const JpegFile& jf,
+                                           const ScanDecodeResult& dec);
+
+}  // namespace lepton::jpegfmt

@@ -1,0 +1,58 @@
+#include "lepton/chunk.h"
+
+#include "jpeg/scan_decoder.h"
+#include "lepton/plan.h"
+
+namespace lepton {
+
+ChunkSetResult ChunkCodec::encode_chunks(
+    std::span<const std::uint8_t> jpeg) const {
+  ChunkSetResult out;
+  try {
+    auto jf = jpegfmt::parse_jpeg(jpeg);
+    auto dec = jpegfmt::decode_scan(jf);
+    std::uint64_t size = jpeg.size();
+    for (std::uint64_t off = 0; off < size; off += chunk_size_) {
+      std::uint64_t end = std::min<std::uint64_t>(off + chunk_size_, size);
+      auto plan =
+          core::plan_byte_range(jf, dec, off, end, opts_, /*is_chunk=*/true);
+      out.chunks.push_back(
+          core::encode_container(jf, dec, plan, opts_, nullptr));
+    }
+  } catch (const jpegfmt::ParseError& e) {
+    out.code = e.code();
+    out.message = e.what();
+    out.chunks.clear();
+  } catch (const std::exception& e) {
+    out.code = util::ExitCode::kImpossible;
+    out.message = e.what();
+    out.chunks.clear();
+  }
+  return out;
+}
+
+Result ChunkCodec::decode_chunk(std::span<const std::uint8_t> chunk,
+                                const DecodeOptions& opts) const {
+  Result r;
+  VectorSink sink;
+  r.code = decode_lepton(chunk, sink, opts);
+  r.data = std::move(sink.data);
+  return r;
+}
+
+util::ExitCode ChunkCodec::chunk_info(std::span<const std::uint8_t> chunk,
+                                      ChunkInfo* out) {
+  try {
+    auto pc = core::parse_container(chunk);
+    out->offset = pc.header.chunk_off;
+    out->length = pc.header.chunk_len;
+    out->total_size = pc.header.file_total_size;
+    return util::ExitCode::kSuccess;
+  } catch (const jpegfmt::ParseError& e) {
+    return e.code();
+  } catch (const std::exception&) {
+    return util::ExitCode::kImpossible;
+  }
+}
+
+}  // namespace lepton

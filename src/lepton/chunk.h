@@ -1,0 +1,65 @@
+// 4-MiB chunk codec (§3, §3.4).
+//
+// The Dropbox back-end stores files as independent chunks of at most 4 MiB
+// spread across many servers, and client software retrieves each chunk
+// independently — so Lepton must decompress any substring of a JPEG file
+// without access to the other substrings. Each chunk here is a standalone
+// Lepton container embedding the JPEG header, the Huffman handover word for
+// its position, and verbatim prepend bytes covering the partial MCU row at
+// its start.
+//
+// Compression sees the whole file (the production system assembles the file
+// before compressing later chunks, §3); only *decompression* is
+// chunk-independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lepton/codec.h"
+
+namespace lepton {
+
+inline constexpr std::size_t kDefaultChunkSize = 4u << 20;  // 4 MiB (§3)
+
+struct ChunkSetResult {
+  util::ExitCode code = util::ExitCode::kSuccess;
+  std::string message;
+  std::vector<std::vector<std::uint8_t>> chunks;  // one container per chunk
+  bool ok() const { return code == util::ExitCode::kSuccess; }
+};
+
+struct ChunkInfo {
+  std::uint64_t offset = 0;      // byte range of the original file
+  std::uint64_t length = 0;
+  std::uint64_t total_size = 0;  // size of the whole original file
+};
+
+class ChunkCodec {
+ public:
+  explicit ChunkCodec(EncodeOptions opts = {},
+                      std::size_t chunk_size = kDefaultChunkSize)
+      : opts_(opts), chunk_size_(chunk_size) {}
+
+  // Splits the JPEG into fixed-size byte ranges and compresses each into an
+  // independent container. Classified failure leaves `chunks` empty.
+  ChunkSetResult encode_chunks(std::span<const std::uint8_t> jpeg) const;
+
+  // Decodes one chunk in isolation: returns exactly the original file bytes
+  // [info.offset, info.offset + info.length).
+  Result decode_chunk(std::span<const std::uint8_t> chunk,
+                      const DecodeOptions& opts = {}) const;
+
+  // Reads a chunk's placement without decoding it.
+  static util::ExitCode chunk_info(std::span<const std::uint8_t> chunk,
+                                   ChunkInfo* out);
+
+  std::size_t chunk_size() const { return chunk_size_; }
+
+ private:
+  EncodeOptions opts_;
+  std::size_t chunk_size_;
+};
+
+}  // namespace lepton

@@ -1,0 +1,288 @@
+#include "lepton/codec.h"
+
+#include <atomic>
+#include <memory>
+
+#include "jpeg/parser.h"
+#include "jpeg/scan_decoder.h"
+#include "jpeg/scan_encoder.h"
+#include "lepton/plan.h"
+#include "model/block_codec.h"
+#include "util/thread_pool.h"
+#include "util/tracked_memory.h"
+
+namespace lepton {
+namespace {
+
+using util::ExitCode;
+
+// Heap model allocation routed through the tracker (Figure 3 accounting).
+using ModelVec = util::tracked_vector<model::ProbabilityModel>;
+
+// In-order streaming assembler for parallel segment output (§3.4: separate
+// threads each write their own segment, which is concatenated and sent).
+class OrderedEmitter {
+ public:
+  OrderedEmitter(ByteSink& sink, std::size_t n) : sink_(sink), pending_(n) {}
+
+  void submit(std::size_t seg, std::span<const std::uint8_t> bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (seg == live_) {
+      sink_.append(bytes);
+    } else {
+      pending_[seg].insert(pending_[seg].end(), bytes.begin(), bytes.end());
+    }
+  }
+
+  void complete(std::size_t seg) {
+    std::lock_guard<std::mutex> lk(mu_);
+    done_.insert(done_.end(), 0);  // no-op to keep vector in scope semantics
+    completed_ |= (1ull << seg);
+    while (live_ < pending_.size() && (completed_ >> live_) & 1ull) {
+      ++live_;
+      if (live_ < pending_.size() && !pending_[live_].empty()) {
+        sink_.append({pending_[live_].data(), pending_[live_].size()});
+        pending_[live_].clear();
+      }
+    }
+  }
+
+ private:
+  ByteSink& sink_;
+  std::mutex mu_;
+  std::size_t live_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<std::vector<std::uint8_t>> pending_;
+  std::vector<int> done_;
+};
+
+// Decode working-set estimate for the §6.2 ">24 MiB mem decode" gate: the
+// per-thread model copy plus two context rows per component.
+std::size_t decode_working_set(const jpegfmt::JpegFile& hdr, std::size_t nseg) {
+  std::size_t rings = 0;
+  for (const auto& comp : hdr.frame.comps) {
+    rings += static_cast<std::size_t>(comp.width_blocks) * 2 *
+             sizeof(model::BlockState);
+  }
+  return nseg * (sizeof(model::ProbabilityModel) + rings);
+}
+
+}  // namespace
+
+int threads_for_size(std::size_t bytes, int max_threads) {
+  int t;
+  if (bytes < 128u << 10) {
+    t = 1;
+  } else if (bytes < 512u << 10) {
+    t = 2;
+  } else if (bytes < 3u << 20) {
+    t = 4;
+  } else {
+    t = 8;
+  }
+  return t < max_threads ? t : (max_threads < 1 ? 1 : max_threads);
+}
+
+namespace core {
+
+std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
+                                           const jpegfmt::ScanDecodeResult& dec,
+                                           const ContainerPlan& plan,
+                                           const EncodeOptions& opts,
+                                           model::SectionTally* tally) {
+  ContainerHeader h;
+  h.is_chunk = plan.is_chunk;
+  h.file_total_size = plan.file_total_size;
+  h.chunk_off = plan.chunk_off;
+  h.chunk_len = plan.chunk_len;
+  h.scan_begin_abs = jf.scan_begin;
+  h.pad_bit = dec.pad_bit;
+  h.rst_count = dec.rst_count;
+  h.model = opts.model;
+  h.jpeg_header.assign(jf.header_bytes().begin(), jf.header_bytes().end());
+  h.prefix_off = plan.prefix_off;
+  h.prefix_len = plan.prefix_len;
+  h.suffix = plan.suffix;
+  h.segments = plan.segments;
+
+  std::vector<std::vector<std::uint8_t>> arith(plan.segments.size());
+  std::atomic<bool> failed{false};
+  auto encode_segment = [&](int i) {
+    try {
+      const auto& seg = plan.segments[static_cast<std::size_t>(i)];
+      ModelVec pm(1);
+      coding::BoolEncoder enc;
+      model::SegmentCodec<coding::EncodeOps> codec(coding::EncodeOps{&enc},
+                                                   pm[0], jf, opts.model);
+      if (tally != nullptr && plan.segments.size() == 1) {
+        codec.set_tally(tally);
+      }
+      for (std::uint32_t row = seg.start_row; row < seg.end_row; ++row) {
+        codec.code_mcu_row(static_cast<int>(row), &dec.coeffs);
+      }
+      arith[static_cast<std::size_t>(i)] = enc.finish();
+    } catch (...) {
+      failed.store(true);
+    }
+  };
+  util::parallel_for_segments(static_cast<int>(plan.segments.size()),
+                              opts.run_parallel ? opts.max_threads : 1,
+                              encode_segment);
+  if (failed.load()) {
+    throw jpegfmt::ParseError(ExitCode::kImpossible, "segment encode failed");
+  }
+  return serialize_container(h, arith);
+}
+
+void decode_container(const ParsedContainer& pc, ByteSink& sink,
+                      const DecodeOptions& opts) {
+  const ContainerHeader& h = pc.header;
+  jpegfmt::JpegFile hdr = jpegfmt::parse_jpeg_header(
+      {h.jpeg_header.data(), h.jpeg_header.size()});
+
+  // Structural validation against the (attacker-controlled) header.
+  for (const auto& seg : h.segments) {
+    if (seg.end_row > static_cast<std::uint32_t>(hdr.frame.mcus_y)) {
+      throw jpegfmt::ParseError(ExitCode::kNotAnImage, "segment row range");
+    }
+  }
+  if (decode_working_set(hdr, h.segments.empty() ? 1 : h.segments.size()) >
+      (24u << 20) * (h.segments.empty() ? 1 : h.segments.size())) {
+    throw jpegfmt::ParseError(ExitCode::kMemLimitDecode,
+                              "decode working set exceeds budget");
+  }
+
+  // Verbatim prefix (header bytes belonging to this chunk's byte range).
+  sink.append({h.jpeg_header.data() + h.prefix_off, h.prefix_len});
+
+  OrderedEmitter emitter(sink, h.segments.size());
+  std::atomic<int> error_code{-1};
+
+  auto decode_segment = [&](int i) {
+    try {
+      const auto& seg = h.segments[static_cast<std::size_t>(i)];
+      ModelVec pm(1);
+      coding::BoolDecoder bd(
+          {pc.arith[static_cast<std::size_t>(i)].data(),
+           pc.arith[static_cast<std::size_t>(i)].size()});
+      model::SegmentCodec<coding::DecodeOps> codec(coding::DecodeOps{&bd},
+                                                   pm[0], hdr, h.model);
+      if (!seg.prepend.empty()) {
+        emitter.submit(static_cast<std::size_t>(i),
+                       {seg.prepend.data(), seg.prepend.size()});
+      }
+      jpegfmt::HuffmanHandover ho = seg.handover;
+      std::uint64_t produced = 0;
+      auto source = [&codec](int comp, int bx, int by) {
+        return codec.row_block(comp, bx, by);
+      };
+      for (std::uint32_t row = seg.start_row;
+           row < seg.end_row && produced < seg.out_len; ++row) {
+        codec.code_mcu_row(static_cast<int>(row), nullptr);
+        jpegfmt::ScanEncodeParams p;
+        p.start_mcu_row = static_cast<int>(row);
+        p.end_mcu_row = static_cast<int>(row) + 1;
+        p.handover = ho;
+        p.pad_bit = h.pad_bit;
+        p.rst_count_limit = h.rst_count;
+        p.final_segment = false;
+        auto bytes = jpegfmt::encode_scan_rows_fn(hdr, source, p, &ho);
+        std::size_t take = bytes.size();
+        if (produced + take > seg.out_len) {
+          take = static_cast<std::size_t>(seg.out_len - produced);
+        }
+        emitter.submit(static_cast<std::size_t>(i), {bytes.data(), take});
+        produced += take;
+      }
+      if (produced != seg.out_len) {
+        throw jpegfmt::ParseError(ExitCode::kNotAnImage,
+                                  "segment produced wrong byte count");
+      }
+      emitter.complete(static_cast<std::size_t>(i));
+    } catch (const jpegfmt::ParseError& e) {
+      error_code.store(static_cast<int>(e.code()));
+      emitter.complete(static_cast<std::size_t>(i));
+    } catch (...) {
+      error_code.store(static_cast<int>(ExitCode::kImpossible));
+      emitter.complete(static_cast<std::size_t>(i));
+    }
+  };
+
+  util::parallel_for_segments(static_cast<int>(h.segments.size()),
+                              opts.run_parallel ? 8 : 1, decode_segment);
+  if (error_code.load() >= 0) {
+    throw jpegfmt::ParseError(static_cast<ExitCode>(error_code.load()),
+                              "segment decode failed");
+  }
+  sink.append({h.suffix.data(), h.suffix.size()});
+}
+
+}  // namespace core
+
+Result encode_jpeg(std::span<const std::uint8_t> jpeg,
+                   const EncodeOptions& opts) {
+  return encode_jpeg_with_breakdown(jpeg, opts, nullptr);
+}
+
+Result encode_jpeg_with_breakdown(std::span<const std::uint8_t> jpeg,
+                                  const EncodeOptions& opts,
+                                  ComponentBreakdown* breakdown) {
+  Result r;
+  try {
+    auto jf = jpegfmt::parse_jpeg(jpeg);
+    auto dec = jpegfmt::decode_scan(jf);
+    EncodeOptions eopts = opts;
+    if (breakdown != nullptr) eopts.one_way = true;
+    auto plan = core::plan_whole_file(jf, dec, eopts);
+    model::SectionTally tally;
+    r.data = core::encode_container(jf, dec, plan, eopts,
+                                    breakdown != nullptr ? &tally : nullptr);
+    if (breakdown != nullptr) {
+      breakdown->header_in = jf.scan_begin + (jpeg.size() - jf.trailing_begin) +
+                             (jf.has_eoi ? 2 : 0) + dec.trailing_scan.size();
+      // Compressed header cost ≈ container minus arithmetic payload.
+      std::uint64_t arith_total =
+          tally.bytes_77 + tally.bytes_edge + tally.bytes_dc;
+      breakdown->header_out =
+          r.data.size() > arith_total ? r.data.size() - arith_total : 0;
+      breakdown->dc_in_bits = dec.stats.bits_dc;
+      breakdown->dc_out_bits = tally.bytes_dc * 8;
+      breakdown->ac77_in_bits =
+          dec.stats.bits_ac77 + dec.stats.bits_overhead;  // EOB/ZRL ride along
+      breakdown->ac77_out_bits = tally.bytes_77 * 8;
+      breakdown->edge_in_bits = dec.stats.bits_edge;
+      breakdown->edge_out_bits = tally.bytes_edge * 8;
+    }
+  } catch (const jpegfmt::ParseError& e) {
+    r.code = e.code();
+    r.message = e.what();
+  } catch (const std::exception& e) {
+    r.code = ExitCode::kImpossible;
+    r.message = e.what();
+  }
+  return r;
+}
+
+util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
+                             const DecodeOptions& opts) {
+  try {
+    auto pc = core::parse_container(lep);
+    core::decode_container(pc, sink, opts);
+    return ExitCode::kSuccess;
+  } catch (const jpegfmt::ParseError& e) {
+    return e.code();
+  } catch (const std::exception&) {
+    return ExitCode::kImpossible;
+  }
+}
+
+Result decode_lepton(std::span<const std::uint8_t> lep,
+                     const DecodeOptions& opts) {
+  Result r;
+  VectorSink sink;
+  r.code = decode_lepton(lep, sink, opts);
+  r.data = std::move(sink.data);
+  return r;
+}
+
+}  // namespace lepton

@@ -1,0 +1,201 @@
+#include "lepton/format.h"
+
+#include "util/exit_codes.h"
+#include "util/serialize.h"
+#include "util/zlib_util.h"
+
+namespace lepton::core {
+namespace {
+
+using util::ExitCode;
+
+[[noreturn]] void fail(ExitCode c, const char* msg) {
+  throw jpegfmt::ParseError(c, msg);
+}
+
+void put_handover(util::Serializer& s, const jpegfmt::HuffmanHandover& h) {
+  s.u64(h.pos.byte_off);
+  s.u8(static_cast<std::uint8_t>(h.pos.bit_off));
+  s.u8(h.partial_byte);
+  for (int i = 0; i < 4; ++i) s.i16(h.dc_pred[i]);
+  s.u32(h.mcus_done);
+  s.u32(h.rst_seen);
+}
+
+jpegfmt::HuffmanHandover get_handover(util::Deserializer& d) {
+  jpegfmt::HuffmanHandover h;
+  h.pos.byte_off = d.u64();
+  h.pos.bit_off = d.u8();
+  h.partial_byte = d.u8();
+  for (int i = 0; i < 4; ++i) h.dc_pred[i] = d.i16();
+  h.mcus_done = d.u32();
+  h.rst_seen = d.u32();
+  if (h.pos.bit_off > 7) fail(ExitCode::kNotAnImage, "handover bit offset");
+  return h;
+}
+
+// §A.1 interleave schedule: sections of 256, then 4096, then 65536 bytes.
+std::size_t section_size(int round) {
+  if (round == 0) return 256;
+  if (round == 1) return 4096;
+  return 65536;
+}
+
+}  // namespace
+
+bool looks_like_lepton(std::span<const std::uint8_t> bytes) {
+  return bytes.size() >= 2 && bytes[0] == kMagic0 && bytes[1] == kMagic1;
+}
+
+std::vector<std::uint8_t> serialize_container(
+    const ContainerHeader& h,
+    const std::vector<std::vector<std::uint8_t>>& arith) {
+  // ---- zlib header payload ----
+  util::Serializer p;
+  p.u8(h.is_chunk ? 1 : 0);
+  p.u64(h.file_total_size);
+  p.u64(h.chunk_off);
+  p.u64(h.chunk_len);
+  p.u64(h.scan_begin_abs);
+  p.u8(h.pad_bit);
+  p.u32(h.rst_count);
+  p.u8(static_cast<std::uint8_t>((h.model.lakhani_edges ? 1 : 0) |
+                                 (h.model.dc_gradient ? 2 : 0) |
+                                 (h.model.zigzag_77 ? 4 : 0)));
+  p.blob({h.jpeg_header.data(), h.jpeg_header.size()});
+  p.u64(h.prefix_off);
+  p.u64(h.prefix_len);
+  p.blob({h.suffix.data(), h.suffix.size()});
+  p.u32(static_cast<std::uint32_t>(h.segments.size()));
+  for (std::size_t i = 0; i < h.segments.size(); ++i) {
+    const auto& seg = h.segments[i];
+    p.u32(seg.start_row);
+    p.u32(seg.end_row);
+    put_handover(p, seg.handover);
+    p.u64(seg.out_len);
+    p.blob({seg.prepend.data(), seg.prepend.size()});
+    p.u32(static_cast<std::uint32_t>(arith[i].size()));
+  }
+  auto zpayload = util::zlib_compress({p.data().data(), p.size()}, 6);
+
+  // ---- outer container ----
+  util::Serializer s;
+  s.u8(kMagic0);
+  s.u8(kMagic1);
+  s.u8(kFormatVersion);
+  s.u8(h.is_chunk ? 1 : 0);
+  s.u32(static_cast<std::uint32_t>(h.segments.size()));
+  for (int i = 0; i < 12; ++i) s.u8(0);  // truncated git revision (§A.1)
+  s.u32(static_cast<std::uint32_t>(h.chunk_len));
+  s.blob({zpayload.data(), zpayload.size()});
+
+  // ---- interleaved arithmetic sections (§A.1) ----
+  std::vector<std::size_t> cursor(arith.size(), 0);
+  std::vector<int> round(arith.size(), 0);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t i = 0; i < arith.size(); ++i) {
+      std::size_t left = arith[i].size() - cursor[i];
+      if (left == 0) continue;
+      std::size_t n = std::min(left, section_size(round[i]));
+      ++round[i];
+      s.u8(static_cast<std::uint8_t>(i));
+      s.u32(static_cast<std::uint32_t>(n));
+      s.bytes({arith[i].data() + cursor[i], n});
+      cursor[i] += n;
+      any = true;
+    }
+  }
+  return s.take();
+}
+
+ParsedContainer parse_container(std::span<const std::uint8_t> bytes) {
+  util::Deserializer d(bytes);
+  if (d.u8() != kMagic0 || d.u8() != kMagic1) {
+    fail(ExitCode::kNotAnImage, "bad magic");
+  }
+  std::uint8_t version = d.u8();
+  if (version != kFormatVersion) {
+    // §6.7's "incompatible old version" incident: fail loudly, do not guess.
+    fail(ExitCode::kUnsupportedJpeg, "unsupported container version");
+  }
+  d.u8();  // flags (mirrored inside the payload)
+  std::uint32_t n_segments_outer = d.u32();
+  for (int i = 0; i < 12; ++i) d.u8();  // git revision
+  d.u32();                              // output size (redundant)
+
+  auto zpayload = d.blob();
+  if (!d.ok()) fail(ExitCode::kNotAnImage, "truncated container");
+  std::vector<std::uint8_t> payload;
+  if (!util::zlib_decompress({zpayload.data(), zpayload.size()}, payload)) {
+    fail(ExitCode::kNotAnImage, "corrupt header payload");
+  }
+
+  ParsedContainer out;
+  util::Deserializer q({payload.data(), payload.size()});
+  auto& h = out.header;
+  h.is_chunk = q.u8() != 0;
+  h.file_total_size = q.u64();
+  h.chunk_off = q.u64();
+  h.chunk_len = q.u64();
+  h.scan_begin_abs = q.u64();
+  h.pad_bit = q.u8() & 1;
+  h.rst_count = q.u32();
+  std::uint8_t mflags = q.u8();
+  h.model.lakhani_edges = (mflags & 1) != 0;
+  h.model.dc_gradient = (mflags & 2) != 0;
+  h.model.zigzag_77 = (mflags & 4) != 0;
+  h.jpeg_header = q.blob();
+  h.prefix_off = q.u64();
+  h.prefix_len = q.u64();
+  h.suffix = q.blob();
+  if (h.prefix_off + h.prefix_len > h.jpeg_header.size()) {
+    fail(ExitCode::kNotAnImage, "prefix range outside header");
+  }
+  std::uint32_t n_segments = q.u32();
+  if (!q.ok() || n_segments != n_segments_outer || n_segments > 4096) {
+    fail(ExitCode::kNotAnImage, "segment count mismatch");
+  }
+  std::vector<std::uint32_t> arith_len(n_segments);
+  for (std::uint32_t i = 0; i < n_segments; ++i) {
+    SegmentHeader seg;
+    seg.start_row = q.u32();
+    seg.end_row = q.u32();
+    seg.handover = get_handover(q);
+    seg.out_len = q.u64();
+    seg.prepend = q.blob();
+    arith_len[i] = q.u32();
+    if (!q.ok() || seg.end_row < seg.start_row) {
+      fail(ExitCode::kNotAnImage, "corrupt segment header");
+    }
+    h.segments.push_back(std::move(seg));
+  }
+
+  // ---- de-interleave the arithmetic sections ----
+  out.arith.resize(n_segments);
+  for (std::uint32_t i = 0; i < n_segments; ++i) {
+    out.arith[i].reserve(arith_len[i]);
+  }
+  while (d.remaining() > 0) {
+    std::uint8_t seg = d.u8();
+    std::uint32_t n = d.u32();
+    if (!d.ok() || seg >= n_segments) {
+      fail(ExitCode::kNotAnImage, "corrupt interleave section");
+    }
+    auto view = d.view(n);
+    if (!d.ok()) fail(ExitCode::kNotAnImage, "truncated section");
+    if (out.arith[seg].size() + n > arith_len[seg]) {
+      fail(ExitCode::kNotAnImage, "section overflow");
+    }
+    out.arith[seg].insert(out.arith[seg].end(), view.begin(), view.end());
+  }
+  for (std::uint32_t i = 0; i < n_segments; ++i) {
+    if (out.arith[i].size() != arith_len[i]) {
+      fail(ExitCode::kNotAnImage, "arith stream truncated");
+    }
+  }
+  return out;
+}
+
+}  // namespace lepton::core

@@ -1,0 +1,78 @@
+// The Lepton container format (§A.1).
+//
+// Layout (all integers little-endian):
+//   magic 0xCF 0x84 | version u8 | flags u8 | n_segments u32 |
+//   git revision (12 bytes) | output size u32 |
+//   zlib blob (u32 len + deflate data)     — header payload, see below |
+//   interleaved arithmetic sections        — [seg u8][len u32][bytes]...
+//
+// The zlib blob carries the original JPEG header bytes (every chunk embeds
+// them so any chunk decodes in isolation, §3.4), the verbatim prefix/suffix
+// byte ranges, and one record per thread segment: its MCU-row range, its
+// Huffman handover word (§3.4), the byte count it must produce, and any
+// verbatim prepend data (§A.1 "arbitrary data to prepend to the output").
+//
+// Arithmetic data is interleaved across segments in escalating sections of
+// 256 / 4096 / 65536 bytes (§A.1) so a streaming decoder can start all
+// threads before the container fully arrives.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jpeg/jpeg_types.h"
+#include "model/model.h"
+
+namespace lepton::core {
+
+inline constexpr std::uint8_t kMagic0 = 0xCF;
+inline constexpr std::uint8_t kMagic1 = 0x84;
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+struct SegmentHeader {
+  std::uint32_t start_row = 0;
+  std::uint32_t end_row = 0;               // exclusive
+  jpegfmt::HuffmanHandover handover;       // writer state at start_row
+  std::uint64_t out_len = 0;               // bytes this segment contributes
+  std::vector<std::uint8_t> prepend;       // verbatim bytes before its output
+};
+
+struct ContainerHeader {
+  bool is_chunk = false;          // substring of a larger file
+  std::uint64_t file_total_size = 0;
+  std::uint64_t chunk_off = 0;    // byte range of the original file this
+  std::uint64_t chunk_len = 0;    //   container decodes to
+  std::uint64_t scan_begin_abs = 0;  // offset of scan data in the original
+  std::uint8_t pad_bit = 1;
+  std::uint32_t rst_count = 0;
+  model::ModelOptions model;
+  std::vector<std::uint8_t> jpeg_header;  // bytes [0, scan_begin) of original
+  // Verbatim bytes this container must emit before its first segment: a
+  // range *into jpeg_header* (header bytes are stored once, §A.1 "skip
+  // serializing header" spirit).
+  std::uint64_t prefix_off = 0;
+  std::uint64_t prefix_len = 0;
+  std::vector<std::uint8_t> suffix;       // verbatim chunk bytes after rows
+  std::vector<SegmentHeader> segments;
+};
+
+// Serializes header + per-segment arithmetic streams into a container.
+std::vector<std::uint8_t> serialize_container(
+    const ContainerHeader& h,
+    const std::vector<std::vector<std::uint8_t>>& arith);
+
+struct ParsedContainer {
+  ContainerHeader header;
+  std::vector<std::vector<std::uint8_t>> arith;  // per segment
+};
+
+// Parses and validates a container. Throws jpegfmt::ParseError (classified
+// kNotAnImage / kImpossible) on structurally hostile input.
+ParsedContainer parse_container(std::span<const std::uint8_t> bytes);
+
+// True if the bytes begin with the Lepton magic.
+bool looks_like_lepton(std::span<const std::uint8_t> bytes);
+
+}  // namespace lepton::core

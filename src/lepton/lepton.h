@@ -1,0 +1,29 @@
+// Public API of the Lepton reproduction.
+//
+// Lepton losslessly re-compresses baseline JPEG files by replacing their
+// Huffman entropy layer with a multithreaded adaptive arithmetic coder
+// (Horn et al., NSDI 2017). The API mirrors how the production system is
+// used:
+//
+//   lepton::EncodeOptions opt;                       // threads, 1-way, ...
+//   auto r = lepton::encode_jpeg(jpeg_bytes, opt);   // -> .lep container
+//   if (r.ok()) {
+//     lepton::VectorSink sink;
+//     auto j = lepton::decode_lepton(r.data, sink);  // exact original bytes
+//   }
+//
+//   lepton::ChunkCodec cc(opt);                      // 4-MiB storage chunks
+//   auto chunks = cc.encode_chunks(jpeg_bytes);
+//   auto part = cc.decode_chunk(chunks.chunks[k]);   // independent decode
+//
+//   lepton::TransparentStore store(opt);             // round-trip gate +
+//   auto admitted = store.put(file_bytes);           //   Deflate fallback
+//
+// Every failure is classified with the production exit-code taxonomy
+// (util::ExitCode, §6.2); nothing in this API throws on hostile input.
+#pragma once
+
+#include "lepton/chunk.h"
+#include "lepton/codec.h"
+#include "lepton/store.h"
+#include "lepton/verify.h"

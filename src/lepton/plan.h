@@ -1,0 +1,61 @@
+// Container planning: maps a byte range of the original file onto verbatim
+// sections + re-encodable MCU-row segments with Huffman handover words.
+//
+// This is where the paper's two distribution requirements meet the format:
+//  * thread segments within a container (§3.4 "within chunks, parallel
+//    decoding"), and
+//  * 4-MiB storage chunks that decode with no access to other chunks
+//    (§3 "distribution across independent chunks").
+//
+// A chunk boundary rarely lands on an MCU-row boundary; the bytes between
+// the chunk start and the first row boundary inside it are carried verbatim
+// as segment "prepend" data (§A.1 "arbitrary data to prepend"), and the
+// last segment's output is trimmed to the chunk end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "jpeg/parser.h"
+#include "jpeg/scan_decoder.h"
+#include "lepton/codec.h"
+#include "lepton/format.h"
+#include "model/block_codec.h"
+
+namespace lepton::core {
+
+struct ContainerPlan {
+  bool is_chunk = false;
+  std::uint64_t file_total_size = 0;
+  std::uint64_t chunk_off = 0;
+  std::uint64_t chunk_len = 0;
+  std::uint64_t prefix_off = 0;  // range into the JPEG header bytes
+  std::uint64_t prefix_len = 0;
+  std::vector<std::uint8_t> suffix;
+  std::vector<SegmentHeader> segments;
+};
+
+// Plans the container for original-file byte range [begin, end).
+ContainerPlan plan_byte_range(const jpegfmt::JpegFile& jf,
+                              const jpegfmt::ScanDecodeResult& dec,
+                              std::uint64_t begin, std::uint64_t end,
+                              const EncodeOptions& opts, bool is_chunk);
+
+// Whole file as a single container.
+ContainerPlan plan_whole_file(const jpegfmt::JpegFile& jf,
+                              const jpegfmt::ScanDecodeResult& dec,
+                              const EncodeOptions& opts);
+
+// Encodes one planned container (implemented in codec.cpp).
+std::vector<std::uint8_t> encode_container(
+    const jpegfmt::JpegFile& jf, const jpegfmt::ScanDecodeResult& dec,
+    const ContainerPlan& plan, const EncodeOptions& opts,
+    model::SectionTally* tally);
+
+// Decodes one parsed container into `sink` (implemented in codec.cpp).
+// Throws jpegfmt::ParseError with a §6.2 classification on failure.
+void decode_container(const ParsedContainer& pc, ByteSink& sink,
+                      const DecodeOptions& opts);
+
+}  // namespace lepton::core

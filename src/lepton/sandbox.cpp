@@ -1,0 +1,26 @@
+#include "lepton/sandbox.h"
+
+#if defined(__linux__)
+#include <linux/seccomp.h>
+#include <sys/prctl.h>
+#endif
+
+namespace lepton::core {
+
+bool sandbox_supported() {
+#if defined(__linux__) && defined(SECCOMP_MODE_STRICT)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool enter_strict_sandbox() {
+#if defined(__linux__) && defined(SECCOMP_MODE_STRICT)
+  return ::prctl(PR_SET_SECCOMP, SECCOMP_MODE_STRICT) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace lepton::core

@@ -1,0 +1,79 @@
+#include "lepton/store.h"
+
+#include <sys/stat.h>
+
+#include "util/md5.h"
+#include "util/zlib_util.h"
+
+namespace lepton {
+
+bool TransparentStore::shutoff_active() const {
+  if (shutoff_) return true;
+  if (shutoff_file_.empty()) return false;
+  struct stat st{};
+  return ::stat(shutoff_file_.c_str(), &st) == 0;
+}
+
+StoredObject TransparentStore::put(std::span<const std::uint8_t> file,
+                                   PutStats* stats) const {
+  StoredObject obj;
+  PutStats local;
+  local.bytes_in = file.size();
+
+  if (!shutoff_active()) {
+    Result enc = encode_jpeg(file, opts_);
+    local.lepton_code = enc.code;
+    if (enc.ok()) {
+      // md5 of the compressed buffer *before* the round-trip test (§5.7):
+      // if memory is corrupted after this point, get() will notice.
+      std::string md5 = util::Md5::hex_digest({enc.data.data(),
+                                               enc.data.size()});
+      Result rt = decode_lepton({enc.data.data(), enc.data.size()});
+      local.roundtrip_ok =
+          rt.ok() && rt.data.size() == file.size() &&
+          std::equal(rt.data.begin(), rt.data.end(), file.begin());
+      if (local.roundtrip_ok) {
+        obj.kind = StorageKind::kLepton;
+        obj.payload = std::move(enc.data);
+        obj.md5_hex = std::move(md5);
+        local.bytes_out = obj.payload.size();
+        if (stats != nullptr) *stats = local;
+        return obj;
+      }
+      // A compressor that cannot reproduce its input must not admit the
+      // file (§5.7); reclassify and fall through to Deflate.
+      local.lepton_code = util::ExitCode::kRoundtripFailed;
+    }
+  } else {
+    local.lepton_code = util::ExitCode::kServerShutdown;
+  }
+
+  obj.kind = StorageKind::kDeflate;
+  obj.payload = util::zlib_compress(file, 6);
+  obj.md5_hex = util::Md5::hex_digest({obj.payload.data(),
+                                       obj.payload.size()});
+  local.bytes_out = obj.payload.size();
+  if (stats != nullptr) *stats = local;
+  return obj;
+}
+
+Result TransparentStore::get(const StoredObject& obj) const {
+  Result r;
+  if (util::Md5::hex_digest({obj.payload.data(), obj.payload.size()}) !=
+      obj.md5_hex) {
+    r.code = util::ExitCode::kImpossible;
+    r.message = "stored payload md5 mismatch";
+    return r;
+  }
+  if (obj.kind == StorageKind::kLepton) {
+    return decode_lepton({obj.payload.data(), obj.payload.size()});
+  }
+  if (!util::zlib_decompress({obj.payload.data(), obj.payload.size()},
+                             r.data)) {
+    r.code = util::ExitCode::kNotAnImage;
+    r.message = "corrupt deflate payload";
+  }
+  return r;
+}
+
+}  // namespace lepton

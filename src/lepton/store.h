@@ -1,0 +1,63 @@
+// The blockserver admit path (§5.7 "Safety Mechanisms").
+//
+// Production rule: a chunk is admitted in Lepton form only if it
+// round-trips — decodes byte-identically to its input — at admit time; the
+// compressed buffer is md5-summed before the round-trip test so in-memory
+// corruption between check and write is detectable; everything Lepton
+// rejects (or that fails the round trip) is stored with Deflate instead.
+// "We have never been unable to decode a stored file" rests on this gate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lepton/codec.h"
+
+namespace lepton {
+
+enum class StorageKind : std::uint8_t { kLepton = 1, kDeflate = 2 };
+
+struct StoredObject {
+  StorageKind kind = StorageKind::kDeflate;
+  std::vector<std::uint8_t> payload;
+  std::string md5_hex;  // of payload, taken before the round-trip test
+};
+
+struct PutStats {
+  util::ExitCode lepton_code = util::ExitCode::kSuccess;
+  bool roundtrip_ok = false;
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+};
+
+class TransparentStore {
+ public:
+  explicit TransparentStore(EncodeOptions opts = {}) : opts_(opts) {}
+
+  // Compresses and admits a file. Never fails: the Deflate fallback always
+  // succeeds. `stats` (optional) reports what happened, in §6.2 terms.
+  StoredObject put(std::span<const std::uint8_t> file,
+                   PutStats* stats = nullptr) const;
+
+  // Retrieves the original bytes. Returns a classified error if the payload
+  // is corrupt (payload md5 mismatch or failed decode).
+  Result get(const StoredObject& obj) const;
+
+  // Emergency shutoff (§5.7): when tripped, put() skips Lepton entirely and
+  // goes straight to Deflate. The production switch is a file in /dev/shm
+  // checked before compressing each chunk; this is the same check as a
+  // process-local flag plus an optional file path.
+  void set_shutoff(bool on) { shutoff_ = on; }
+  bool shutoff() const { return shutoff_; }
+  void set_shutoff_file(std::string path) { shutoff_file_ = std::move(path); }
+  bool shutoff_active() const;
+
+ private:
+  EncodeOptions opts_;
+  bool shutoff_ = false;
+  std::string shutoff_file_;
+};
+
+}  // namespace lepton

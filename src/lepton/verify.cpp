@@ -1,0 +1,46 @@
+#include "lepton/verify.h"
+
+namespace lepton {
+
+void QualificationRunner::run_file(std::span<const std::uint8_t> file,
+                                   QualificationReport* rep) {
+  ++rep->files;
+  Result enc = encode_jpeg(file, opts_);
+  auto code_idx = static_cast<std::size_t>(enc.code);
+  if (!enc.ok()) {
+    ++rep->rejected;
+    ++rep->by_code[code_idx];
+    return;
+  }
+
+  // Decode #1: production configuration (multithreaded).
+  DecodeOptions par;
+  par.run_parallel = true;
+  Result d1 = decode_lepton({enc.data.data(), enc.data.size()}, par);
+
+  // Decode #2: independent schedule (the gcc/asan single-threaded build in
+  // production, §5.2/§5.6).
+  DecodeOptions ser;
+  ser.run_parallel = false;
+  Result d2 = decode_lepton({enc.data.data(), enc.data.size()}, ser);
+  if (mutator_) mutator_(d2.data);
+
+  bool rt1 = d1.ok() && d1.data.size() == file.size() &&
+             std::equal(d1.data.begin(), d1.data.end(), file.begin());
+  if (!rt1) {
+    ++rep->mismatches;
+    ++rep->by_code[static_cast<std::size_t>(util::ExitCode::kRoundtripFailed)];
+    rep->alerts.push_back("round-trip mismatch (pages the on-call, §5.7)");
+    return;
+  }
+  if (!d2.ok() || d2.data != d1.data) {
+    ++rep->nondeterminism;
+    rep->alerts.push_back(
+        "two decodes of one file disagree: nondeterminism (§5.2)");
+    return;
+  }
+  ++rep->admitted;
+  ++rep->by_code[static_cast<std::size_t>(util::ExitCode::kSuccess)];
+}
+
+}  // namespace lepton

@@ -1,0 +1,278 @@
+// Drives the probability model over the blocks of one thread segment.
+//
+// Written once, templated over coding::EncodeOps / coding::DecodeOps, so the
+// encoder and decoder cannot drift (§5.2's determinism requirement). The
+// codec streams: it holds exactly two block rows of context per component
+// (the row being coded and the row above it), which is what keeps Lepton's
+// decode working set fixed regardless of image height (§1 "Memory", §5.4).
+//
+// Block coding order within a block (§3.3/§A.2): the 7x7 interior count,
+// the 7x7 values (zigzag), the 7x1 column edge, the 1x7 row edge, and the
+// DC last — DC prediction gets to use every AC coefficient.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/coder_ops.h"
+#include "jpeg/jpeg_types.h"
+#include "model/model.h"
+#include "model/predictors.h"
+#include "util/tracked_memory.h"
+
+namespace lepton::model {
+
+// Zigzag-ordered natural indices of the 49 interior (7x7) coefficients.
+struct Interior77 {
+  std::array<std::uint8_t, kNum77> zigzag_order{};  // natural indices
+  std::array<std::uint8_t, kNum77> raster_order{};
+  Interior77() {
+    int zi = 0, ri = 0;
+    for (int k = 1; k < 64; ++k) {
+      int nat = jpegfmt::kZigzag[k];
+      if ((nat >> 3) != 0 && (nat & 7) != 0) {
+        zigzag_order[zi++] = static_cast<std::uint8_t>(nat);
+      }
+    }
+    for (int u = 1; u < 8; ++u) {
+      for (int v = 1; v < 8; ++v) {
+        raster_order[ri++] = static_cast<std::uint8_t>(u * 8 + v);
+      }
+    }
+  }
+};
+
+inline const Interior77& interior77() {
+  static const Interior77 t;
+  return t;
+}
+
+// Compressed-size attribution per block section (encode side only; byte
+// granularity integrates accurately over many blocks). Feeds the Figure 4
+// component-breakdown bench.
+struct SectionTally {
+  std::uint64_t bytes_77 = 0;    // non-zero count + 7x7 values
+  std::uint64_t bytes_edge = 0;  // 7x1/1x7 counts + values
+  std::uint64_t bytes_dc = 0;    // DC delta
+};
+
+template <typename Ops>
+class SegmentCodec {
+ public:
+  SegmentCodec(Ops ops, ProbabilityModel& pm, const jpegfmt::JpegFile& jf,
+               const ModelOptions& opts)
+      : ops_(ops), pm_(pm), jf_(jf), opts_(opts) {
+    const auto& fr = jf.frame;
+    rings_.resize(fr.comps.size());
+    for (std::size_t c = 0; c < fr.comps.size(); ++c) {
+      rings_[c][0].resize(fr.comps[c].width_blocks);
+      rings_[c][1].resize(fr.comps[c].width_blocks);
+    }
+  }
+
+  // Codes one MCU row. On encode, `source` supplies ground-truth blocks; on
+  // decode pass nullptr. Decoded coefficients land in the ring and can be
+  // read back with row_block() until the next call for that parity.
+  void code_mcu_row(int my, const jpegfmt::CoeffImage* source) {
+    const auto& fr = jf_.frame;
+    for (int mx = 0; mx < fr.mcus_x; ++mx) {
+      for (int ci = 0; ci < fr.ncomp(); ++ci) {
+        const auto& comp = fr.comps[ci];
+        for (int sy = 0; sy < comp.v_samp; ++sy) {
+          for (int sx = 0; sx < comp.h_samp; ++sx) {
+            int bx = fr.ncomp() == 1 ? mx : mx * comp.h_samp + sx;
+            int by = fr.ncomp() == 1 ? my : my * comp.v_samp + sy;
+            code_block(ci, bx, by,
+                       source != nullptr ? source->comps[ci].block(bx, by)
+                                         : nullptr);
+          }
+        }
+      }
+    }
+  }
+
+  // Marks the start of a segment: the next row has no "above" context, as
+  // if it were the top of the image (this independence is what costs a
+  // little compression per extra thread, §3.4).
+  void reset_above_context() {
+    for (auto& ring : rings_) {
+      for (auto& row : ring) {
+        for (auto& bs : row) bs.valid = false;
+      }
+    }
+  }
+
+  // Read back a decoded block from the ring (valid for the two most recent
+  // block rows of the component).
+  const std::int16_t* row_block(int ci, int bx, int by) const {
+    return rings_[ci][by & 1][static_cast<std::size_t>(bx)].coef.data();
+  }
+
+  // Attribute compressed bytes to block sections (encode side only).
+  void set_tally(SectionTally* t) { tally_ = t; }
+
+ private:
+  void code_block(int ci, int bx, int by, const std::int16_t* truth) {
+    const auto& comp = jf_.frame.comps[ci];
+    const std::uint16_t* q = jf_.qtables[comp.quant_idx].q.data();
+    KindModel& km = pm_.for_component(ci);
+
+    auto& cur_row = rings_[ci][by & 1];
+    auto& prev_row = rings_[ci][(by - 1) & 1];
+    BlockState& bs = cur_row[static_cast<std::size_t>(bx)];
+    bs = BlockState{};  // clear (ring slot reuse)
+
+    Neighbors nb;
+    if (by > 0 && prev_row[bx].valid) nb.above = &prev_row[bx];
+    if (bx > 0 && cur_row[bx - 1].valid) nb.left = &cur_row[bx - 1];
+    if (by > 0 && bx > 0 && prev_row[bx - 1].valid) {
+      nb.above_left = &prev_row[bx - 1];
+    }
+
+    std::int16_t* blk = bs.coef.data();
+    if constexpr (Ops::kEncoding) {
+      for (int i = 0; i < 64; ++i) blk[i] = truth[i];
+    }
+
+    const auto& order =
+        opts_.zigzag_77 ? interior77().zigzag_order : interior77().raster_order;
+
+    auto coded_bytes = [this]() -> std::uint64_t {
+      if constexpr (Ops::kEncoding) {
+        return ops_.enc->bytes_so_far();
+      } else {
+        return 0;
+      }
+    };
+    std::uint64_t mark = coded_bytes();
+
+    // ---- (1) number of non-zero 7x7 coefficients (§A.2.1) ----
+    int nz_truth = 0;
+    if constexpr (Ops::kEncoding) {
+      for (int i = 0; i < kNum77; ++i) nz_truth += blk[order[i]] != 0;
+    }
+    int na = nb.above != nullptr ? nb.above->nz77 : 0;
+    int nl = nb.left != nullptr ? nb.left->nz77 : 0;
+    int nz_ctx = nz_count_bucket((na + nl) / 2);
+    int nz = static_cast<int>(coding::code_tree(
+        ops_, km.nz77.at(nz_ctx).row(), 6, static_cast<std::uint32_t>(nz_truth)));
+    if (nz > kNum77) nz = kNum77;  // 6 bits can express up to 63
+    bs.nz77 = static_cast<std::uint8_t>(nz);
+
+    // ---- (2) 7x7 interior values, most-active first (zigzag) ----
+    int remaining = nz;
+    for (int i = 0; i < kNum77 && remaining > 0; ++i) {
+      int nat = order[i];
+      int avg_b = magnitude_bucket(avg_neighbor_magnitude(nb, nat));
+      int rem_b = nz_count_bucket(remaining);
+      std::int32_t v = coding::code_value(
+          ops_, km.c77_exp.at(i).at(avg_b).at(rem_b).row(),
+          &km.c77_sign.at(i).at(avg_b).at(0),
+          km.c77_res.at(i).at(avg_b).row(), kAcMaxBits,
+          Ops::kEncoding ? blk[nat] : 0);
+      if constexpr (!Ops::kEncoding) {
+        blk[nat] = static_cast<std::int16_t>(v);
+      }
+      if (v != 0) --remaining;
+    }
+
+    if (tally_ != nullptr) {
+      std::uint64_t now = coded_bytes();
+      tally_->bytes_77 += now - mark;
+      mark = now;
+    }
+
+    // ---- (3) edges: 7x1 column (left-predicted), 1x7 row (above-) ----
+    code_edge(km, nb, blk, q, /*orientation=*/0, nz);
+    code_edge(km, nb, blk, q, /*orientation=*/1, nz);
+
+    if (tally_ != nullptr) {
+      std::uint64_t now = coded_bytes();
+      tally_->bytes_edge += now - mark;
+      mark = now;
+    }
+
+    // ---- (4) DC, last (§A.2.3) ----
+    std::int32_t px_ac[64];
+    DcPrediction pred;
+    if (opts_.dc_gradient) {
+      ac_only_pixels(blk, q, px_ac);
+      pred = predict_dc_gradient(nb, px_ac, q);
+    } else {
+      pred = predict_dc_simple(nb, q);
+    }
+    if (pred.predicted_dc > 2047) pred.predicted_dc = 2047;
+    if (pred.predicted_dc < -2048) pred.predicted_dc = -2048;
+    int conf = confidence_bucket(pred.spread);
+    std::int32_t delta = coding::code_value(
+        ops_, km.dc_exp.at(conf).row(), &km.dc_sign.at(conf).at(0),
+        km.dc_res.at(conf).row(), kDcDeltaBits,
+        Ops::kEncoding ? blk[0] - pred.predicted_dc : 0);
+    if constexpr (!Ops::kEncoding) {
+      std::int32_t dc = pred.predicted_dc + delta;
+      if (dc > 2047) dc = 2047;
+      if (dc < -2048) dc = -2048;
+      blk[0] = static_cast<std::int16_t>(dc);
+    }
+
+    if (tally_ != nullptr) tally_->bytes_dc += coded_bytes() - mark;
+
+    // ---- (5) finalize ring state for the blocks to our right/below ----
+    if (!opts_.dc_gradient) ac_only_pixels(blk, q, px_ac);
+    finalize_block_pixels(bs, px_ac, q);
+  }
+
+  void code_edge(KindModel& km, const Neighbors& nb, std::int16_t* blk,
+                 const std::uint16_t* q, int orientation, int nz77v) {
+    // orientation 0: F[u][0], predicted from the left block;
+    // orientation 1: F[0][v], predicted from the above block.
+    const BlockState* neighbor = orientation == 0 ? nb.left : nb.above;
+
+    int count_truth = 0;
+    if constexpr (Ops::kEncoding) {
+      for (int i = 1; i < 8; ++i) {
+        count_truth += blk[orientation == 0 ? i * 8 : i] != 0;
+      }
+    }
+    int ctx = nz_count_bucket(nz77v);
+    if (ctx > 7) ctx = 7;
+    int count = static_cast<int>(coding::code_tree(
+        ops_, km.edge_nz.at(orientation).at(ctx).row(), 3,
+        static_cast<std::uint32_t>(count_truth)));
+
+    int remaining = count;
+    for (int i = 1; i < 8 && remaining > 0; ++i) {
+      int nat = orientation == 0 ? i * 8 : i;
+      std::int32_t predicted = 0;
+      if (opts_.lakhani_edges) {
+        predicted = lakhani_edge_prediction(orientation, i, blk, neighbor, q);
+      } else {
+        predicted = avg_neighbor_value(nb, nat);
+      }
+      if (predicted > 1023) predicted = 1023;
+      if (predicted < -1023) predicted = -1023;
+      int pb = signed_pred_bucket(predicted);
+      int mb = magnitude_bucket(avg_neighbor_magnitude(nb, nat));
+      if (mb > 3) mb = 3;
+      std::int32_t v = coding::code_value(
+          ops_, km.edge_exp.at(orientation).at(i - 1).at(pb).at(mb).row(),
+          &km.edge_sign.at(orientation).at(i - 1).at(pb).at(0),
+          km.edge_res.at(orientation).at(i - 1).at(pb).at(mb).row(),
+          kAcMaxBits, Ops::kEncoding ? blk[nat] : 0);
+      if constexpr (!Ops::kEncoding) {
+        blk[nat] = static_cast<std::int16_t>(v);
+      }
+      if (v != 0) --remaining;
+    }
+  }
+
+  Ops ops_;
+  ProbabilityModel& pm_;
+  const jpegfmt::JpegFile& jf_;
+  ModelOptions opts_;
+  SectionTally* tally_ = nullptr;
+  // Two block rows of context per component, indexed by (by & 1).
+  std::vector<std::array<util::tracked_vector<BlockState>, 2>> rings_;
+};
+
+}  // namespace lepton::model

@@ -1,0 +1,170 @@
+// Lepton's adaptive probability model (§3.2, §3.3, §A.2).
+//
+// The model is a large set of independent adaptive "statistic bins"
+// (coding::Branch), each used in one context. Contexts follow the paper:
+//   * the number of non-zero 7x7 coefficients, coded as a 6-bit tree with
+//     bins indexed by ⌊log1.59((nA+nL)/2)⌋ (§A.2.1),
+//   * 7x7 AC values, Exp-Golomb coded with bins indexed by the coefficient
+//     index and ⌊log2(|A|+|L|+½|AL|)⌋ of the neighbouring blocks (§3.3),
+//   * 7x1/1x7 edge values with bins indexed by a quantized Lakhani
+//     prediction computed from an entire neighbour row/column (§A.2.2),
+//   * the DC delta against a pixel-gradient prediction, with bins indexed
+//     by the prediction spread (confidence) (§A.2.3).
+//
+// Every bin access goes through clamped accessors: the production system's
+// very first qualification run caught a *reversed* multidimensional bin
+// index that compiled fine and corrupted state (§6.1); afterwards Dropbox
+// wrapped every bin in a bounds-checking class and paid ~10% CPU for it.
+// We adopt the same posture.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "coding/branch.h"
+
+namespace lepton::model {
+
+using coding::Branch;
+
+// Ablation switches for the §4.3 experiments. All default to the paper's
+// shipped configuration.
+struct ModelOptions {
+  bool lakhani_edges = true;  // false: predict edges like 7x7 neighbours
+  bool dc_gradient = true;    // false: "baseline PackJPG" neighbour-DC mean
+  bool zigzag_77 = true;      // false: raster order (costs ~0.2%, §A.2.1)
+};
+
+// ---- Context bucketing -----------------------------------------------------
+
+// ⌊log1.59(n)⌋-style bucket for non-zero counts, clamped to [0, 9].
+inline int nz_count_bucket(int n) {
+  static constexpr int kThresholds[9] = {1, 2, 3, 5, 7, 11, 17, 26, 41};
+  int b = 0;
+  while (b < 9 && n >= kThresholds[b]) ++b;
+  return b;  // 0..9
+}
+
+// ⌊log2(1+x)⌋ clamped to [0, 11] for neighbour-magnitude averages.
+inline int magnitude_bucket(std::uint32_t x) {
+  int b = 0;
+  while (x != 0 && b < 11) {
+    ++b;
+    x >>= 1;
+  }
+  return b;
+}
+
+// Signed prediction bucket for edge coefficients: 8 negative magnitudes,
+// zero, 8 positive magnitudes → [0, 16].
+inline int signed_pred_bucket(std::int32_t p) {
+  if (p == 0) return 8;
+  std::uint32_t a = p < 0 ? static_cast<std::uint32_t>(-p)
+                          : static_cast<std::uint32_t>(p);
+  int m = 0;
+  while (a != 0 && m < 8) {
+    ++m;
+    a >>= 1;
+  }
+  return p < 0 ? 8 - m : 8 + m;
+}
+
+// Confidence bucket for the DC prediction spread, [0, 16].
+inline int confidence_bucket(std::uint32_t spread) {
+  int b = 0;
+  while (spread != 0 && b < 16) {
+    ++b;
+    spread >>= 1;
+  }
+  return b;
+}
+
+// ---- Model storage ---------------------------------------------------------
+
+inline constexpr int kNum77 = 49;       // interior coefficients per block
+inline constexpr int kAvgBuckets = 12;  // magnitude_bucket range
+inline constexpr int kNzBuckets = 10;   // nz_count_bucket range
+inline constexpr int kPredBuckets = 17; // signed_pred_bucket range
+inline constexpr int kConfBuckets = 17; // confidence_bucket range
+inline constexpr int kAcMaxBits = 10;   // |AC| <= 1023 in 8-bit baseline
+inline constexpr int kDcDeltaBits = 13; // DC delta range after prediction
+
+// Bounds-clamped fixed-size branch row. Clamping (rather than asserting)
+// keeps hostile streams safe *and* keeps encoder/decoder symmetric: both
+// sides clamp the same way, so an out-of-range context still round-trips.
+template <int N>
+class BranchRow {
+ public:
+  Branch& at(int i) {
+    if (i < 0) i = 0;
+    if (i >= N) i = N - 1;
+    return b_[i];
+  }
+  Branch* row() { return b_.data(); }
+  static constexpr int size() { return N; }
+
+ private:
+  std::array<Branch, N> b_{};
+};
+
+template <int Outer, typename Inner>
+class BranchDim {
+ public:
+  Inner& at(int i) {
+    if (i < 0) i = 0;
+    if (i >= Outer) i = Outer - 1;
+    return d_[i];
+  }
+  static constexpr int outer() { return Outer; }
+
+ private:
+  std::array<Inner, Outer> d_{};
+};
+
+// Model state for one channel kind (luma or chroma). Sized so a per-thread
+// copy stays in the hundreds of kilobytes — the paper's hard decode budget
+// (24 MiB single-threaded incl. buffers, §4.2) is enforced upstream.
+struct KindModel {
+  // §A.2.1: 6-bit count tree, 10 neighbour buckets, 64 tree nodes.
+  BranchDim<kNzBuckets, BranchRow<64>> nz77;
+
+  // 7x7 values.
+  BranchDim<kNum77, BranchDim<kAvgBuckets, BranchDim<kNzBuckets,
+      BranchRow<kAcMaxBits + 1>>>> c77_exp;
+  BranchDim<kNum77, BranchDim<kAvgBuckets, BranchRow<1>>> c77_sign;
+  BranchDim<kNum77, BranchDim<kAvgBuckets, BranchRow<kAcMaxBits>>> c77_res;
+
+  // Edge (7x1 columns = orientation 0, 1x7 rows = orientation 1). Values
+  // are additionally conditioned on the neighbouring blocks' magnitude at
+  // the same coefficient (4 coarse buckets): the Lakhani prediction centres
+  // the value, the neighbour magnitude scales the expected spread.
+  BranchDim<2, BranchDim<8, BranchRow<8>>> edge_nz;  // 3-bit count tree
+  BranchDim<2, BranchDim<7, BranchDim<kPredBuckets, BranchDim<4,
+      BranchRow<kAcMaxBits + 1>>>>> edge_exp;
+  BranchDim<2, BranchDim<7, BranchDim<kPredBuckets, BranchRow<1>>>> edge_sign;
+  BranchDim<2, BranchDim<7, BranchDim<kPredBuckets, BranchDim<4,
+      BranchRow<kAcMaxBits>>>>> edge_res;
+
+  // DC delta.
+  BranchDim<kConfBuckets, BranchRow<kDcDeltaBits + 1>> dc_exp;
+  BranchDim<kConfBuckets, BranchRow<1>> dc_sign;
+  BranchDim<kConfBuckets, BranchRow<kDcDeltaBits>> dc_res;
+};
+
+// Full model: separate statistics for luma (component 0) and chroma.
+struct ProbabilityModel {
+  std::array<KindModel, 2> kinds;
+  KindModel& for_component(int comp_idx) {
+    return kinds[comp_idx == 0 ? 0 : 1];
+  }
+};
+
+// Total number of statistic bins in the model — reported by DESIGN.md and
+// checked by tests against the intended layout (same order of magnitude as
+// the paper's 721,564 bins; exact count differs because the open-source
+// model's bin layout is not fully specified in the paper).
+constexpr std::size_t model_bin_count() {
+  return sizeof(ProbabilityModel) / sizeof(Branch);
+}
+
+}  // namespace lepton::model

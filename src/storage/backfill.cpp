@@ -1,0 +1,62 @@
+#include "storage/backfill.h"
+
+#include <cmath>
+
+namespace lepton::storage {
+
+std::vector<BackfillSample> simulate_backfill_day(const BackfillConfig& cfg,
+                                                  double outage_start_h,
+                                                  double outage_end_h,
+                                                  double hours) {
+  util::Rng rng(cfg.seed);
+  std::vector<BackfillSample> out;
+  const double step_h = 0.1;  // 6-minute samples, like the paper's plot
+  for (double h = 0; h < hours; h += step_h) {
+    BackfillSample s;
+    s.hour = h;
+    s.backfill_active = !(h >= outage_start_h && h < outage_end_h);
+    // Ramp-down/up takes a few samples (machines drain their queues).
+    double ramp = 1.0;
+    if (!s.backfill_active) {
+      ramp = 0.0;
+    } else if (h >= outage_end_h && h < outage_end_h + 0.5) {
+      ramp = (h - outage_end_h) / 0.5;  // DropSpot re-allocates machines
+    }
+    double noise = rng.normal(0, 0.015);
+    s.compressions_per_s = cfg.chunks_per_second * ramp * (1.0 + noise);
+    if (s.compressions_per_s < 0) s.compressions_per_s = 0;
+    s.power_kw = cfg.base_power_kw +
+                 cfg.backfill_power_kw * ramp * (1.0 + rng.normal(0, 0.01)) +
+                 3.0 * std::sin(h / 3.0);  // ambient fleet wobble
+    out.push_back(s);
+  }
+  return out;
+}
+
+CostModel compute_cost_model(const BackfillConfig& cfg) {
+  CostModel m;
+  // Conversions per kWh: chunks/s over cluster kW (§5.6.1 includes the
+  // three verification decodes in the power envelope).
+  double conversions_per_hour = cfg.chunks_per_second * 3600.0;
+  m.conversions_per_kwh = conversions_per_hour / cfg.cluster_power_kw;
+  // Each conversion saves savings_fraction of an avg_image_mb image.
+  double gib_saved_per_conversion =
+      cfg.avg_image_mb * 1e6 * cfg.savings_fraction / (1024.0 * 1024 * 1024);
+  m.gib_saved_per_kwh = m.conversions_per_kwh * gib_saved_per_conversion;
+  // Break-even electricity price vs a depowered 5 TB disk at $120
+  // (paper's thought experiment): price where 1 kWh = saved bytes' cost.
+  double disk_usd_per_gib = 120.0 / (5000.0 * 1e9 / (1024.0 * 1024 * 1024));
+  m.breakeven_kwh_price_depowered_disk = m.gib_saved_per_kwh * disk_usd_per_gib;
+  // Per-server-year figures.
+  double images_per_s = cfg.chunks_per_second / cfg.machines;
+  m.images_per_server_year = images_per_s * 3600 * 24 * 365;
+  m.tib_saved_per_server_year = m.images_per_server_year * cfg.avg_image_mb *
+                                1e6 * cfg.savings_fraction /
+                                (1024.0 * 1024 * 1024 * 1024);
+  // S3 Infrequent Access (Feb 2017): $0.0125/GiB-month.
+  m.s3_ia_cost_per_server_year_usd =
+      m.tib_saved_per_server_year * 1024.0 * 0.0125 * 12.0;
+  return m;
+}
+
+}  // namespace lepton::storage

@@ -1,0 +1,52 @@
+// Backfill / DropSpot model (§5.6) and the cost-effectiveness arithmetic
+// (§5.6.1), calibrated entirely from the paper's published constants:
+// 964 machines encoding 5,583 chunks/s (5.75 images/s per 2.6 GHz Xeon
+// E5-2650v2), a 278 kW cluster footprint of which 121 kW disappears when
+// backfill stops (Figure 11's outage step), 1.5 MB average images, 23%
+// savings → 24 GiB saved per kWh including the three verification decodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lepton::storage {
+
+struct BackfillConfig {
+  int machines = 964;                  // §5.6.1
+  double chunks_per_second = 5583.0;   // §5.6.1
+  double cluster_power_kw = 278.0;     // §5.6.1
+  double backfill_power_kw = 121.0;    // Figure 11's step when disabled
+  double base_power_kw = 157.0;        // the rest of the measured chassis
+  double avg_image_mb = 1.5;           // §5.6.1
+  double savings_fraction = 0.2269;    // §5.4: 22.69% average savings
+  std::uint64_t seed = 926;            // Sept 26, the day of Figure 11
+};
+
+struct BackfillSample {
+  double hour = 0;
+  double power_kw = 0;
+  double compressions_per_s = 0;
+  bool backfill_active = true;
+};
+
+// Reproduces Figure 11: ~30 hours of chassis power and compressions/s with
+// an outage window during which backfill stops and power steps down.
+std::vector<BackfillSample> simulate_backfill_day(const BackfillConfig& cfg,
+                                                  double outage_start_h,
+                                                  double outage_end_h,
+                                                  double hours = 30.0);
+
+// §5.6.1 cost-effectiveness arithmetic.
+struct CostModel {
+  double conversions_per_kwh = 0;  // paper: ~72,300
+  double gib_saved_per_kwh = 0;    // paper: ~24 GiB
+  double breakeven_kwh_price_depowered_disk = 0;   // paper: $0.58
+  double images_per_server_year = 0;               // paper: ~181.5M
+  double tib_saved_per_server_year = 0;            // paper: ~58.8 TiB
+  double s3_ia_cost_per_server_year_usd = 0;       // paper: ~$9,031
+};
+CostModel compute_cost_model(const BackfillConfig& cfg);
+
+}  // namespace lepton::storage

@@ -1,0 +1,80 @@
+#include "storage/rollout.h"
+
+#include <cmath>
+
+#include "storage/workload.h"
+
+namespace lepton::storage {
+
+std::vector<RolloutSample> simulate_rollout(const RolloutConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  std::vector<RolloutSample> out;
+  double lepton_photos = 0;
+  double store = cfg.initial_store_photos;
+
+  // Fixed pre-outsourcing decode capacity: chosen so early load is
+  // comfortable and day-90 load pushes utilization toward ~0.97, which is
+  // what drove Figure 14's multi-second p99s.
+  const double capacity = cfg.downloads_per_s * 0.72;
+
+  for (double day = 0; day < cfg.days; day += 1.0) {
+    double secs = kDay;
+    lepton_photos += (cfg.uploads_per_s + cfg.backfill_per_s) * secs;
+    store += cfg.uploads_per_s * secs;
+    RolloutSample s;
+    s.day = day;
+    s.lepton_fraction = lepton_photos / store;
+    // Downloads skew toward recent photos: weight the Lepton fraction by a
+    // recency factor that saturates (most fetched photos are recent).
+    double recency_boost = 1.0 - std::exp(-day / 25.0);
+    double effective_fraction =
+        s.lepton_fraction + (1 - s.lepton_fraction) * 0.85 * recency_boost;
+    s.encode_rate = cfg.uploads_per_s * rng.uniform(0.95, 1.05);
+    s.decode_rate =
+        cfg.downloads_per_s * effective_fraction * rng.uniform(0.95, 1.05);
+    s.ratio = s.decode_rate / s.encode_rate;
+
+    // M/M/1-flavoured latency inflation as decode load approaches the fixed
+    // capacity (Figure 14's creep), with multiplicative percentile spread.
+    double util = s.decode_rate / capacity;
+    if (util > 0.97) util = 0.97;
+    double inflate = 1.0 / (1.0 - util);
+    // The tail inflates far more than the median (Figure 14: p99 reaches
+    // seconds while the p50 stays tens of milliseconds).
+    s.p50 = 0.060 * (1 + 0.04 * (inflate - 1));
+    s.p75 = 0.110 * (1 + 0.12 * (inflate - 1));
+    s.p95 = 0.240 * (1 + 0.40 * (inflate - 1));
+    s.p99 = 0.300 * inflate;
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<ThpSample> simulate_thp(const ThpConfig& cfg) {
+  util::Rng rng(cfg.seed);
+  std::vector<ThpSample> out;
+  for (double h = 0; h < cfg.hours; h += 1.0) {
+    bool thp_on = h < cfg.disable_at_hour;
+    util::Percentiles lat;
+    for (int i = 0; i < 4000; ++i) {
+      // Baseline decode latency: log-normal around the production median.
+      double v = cfg.base_p50_s * std::exp(rng.normal(0, 0.45));
+      if (thp_on && rng.chance(cfg.stall_prob)) {
+        // isolate_migratepages_range & friends: the decode blocks before it
+        // reads a single input byte (§6.3).
+        v += rng.exponential(cfg.stall_mean_s);
+      }
+      lat.add(v);
+    }
+    ThpSample s;
+    s.hour = h;
+    s.p50 = lat.percentile(50);
+    s.p75 = lat.percentile(75);
+    s.p95 = lat.percentile(95);
+    s.p99 = lat.percentile(99);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace lepton::storage

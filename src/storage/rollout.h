@@ -1,0 +1,63 @@
+// Rollout dynamics (§6.4 "Boiling the frog") and the THP latency anomaly
+// (§6.3), as parameterized simulations.
+//
+// Figure 13: in April 2016 every *new* photo was Lepton-encoded but nearly
+// all *stored* photos were still Deflate — so decodes of Lepton files were
+// rare. As the Lepton-compressed fraction of the store grew, the
+// decode:encode ratio climbed from ~0 toward the steady-state 1.5-2.0,
+// quietly multiplying the decode hardware requirements (Figure 14's
+// multi-second p99s) until the outsourcing system shipped.
+//
+// Figure 12: transparent huge pages made the kernel defragment 2-MiB pages
+// for a process that asks for 200 MiB up front but touches 24 MiB; the
+// stall hits a few decodes after each allocation burst, inflating p95/p99
+// (not the median) until THP was disabled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lepton::storage {
+
+struct RolloutConfig {
+  double days = 90;
+  double uploads_per_s = 5.0;        // new photos, all Lepton-encoded
+  double downloads_per_s = 9.0;      // photo fetches (decode if Lepton)
+  double initial_store_photos = 40e9;  // existing Deflate-compressed photos
+  double backfill_per_s = 0.0;       // §5.6 backfill starts months later
+  std::uint64_t seed = 414;          // April 14, launch day
+};
+
+struct RolloutSample {
+  double day = 0;
+  double decode_rate = 0;   // Lepton decodes/s
+  double encode_rate = 0;
+  double ratio = 0;         // the Figure 13 curve
+  double lepton_fraction = 0;  // of the photo store
+  // Figure 14: decode latency percentiles as load grows against fixed
+  // pre-outsourcing capacity.
+  double p50 = 0, p75 = 0, p95 = 0, p99 = 0;
+};
+
+std::vector<RolloutSample> simulate_rollout(const RolloutConfig& cfg);
+
+struct ThpConfig {
+  double hours = 20;
+  double disable_at_hour = 6.0;  // the Figure 12 event (April 13, 03:00)
+  double base_p50_s = 0.060;     // §4.1: median decode < 60 ms
+  double stall_prob = 0.04;      // fraction of decodes hitting defrag stalls
+  double stall_mean_s = 1.8;     // §6.3: up to 30 s observed; heavy tail
+  std::uint64_t seed = 413;
+};
+
+struct ThpSample {
+  double hour = 0;
+  double p50 = 0, p75 = 0, p95 = 0, p99 = 0;
+};
+
+std::vector<ThpSample> simulate_thp(const ThpConfig& cfg);
+
+}  // namespace lepton::storage

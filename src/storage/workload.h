@@ -1,0 +1,56 @@
+// Production workload model (§5.4).
+//
+// Calibrated from every number the paper publishes: ~5 fleet-wide encodes/s
+// at the Thursday peak, decode:encode ratio ≈ 1.5 on weekdays and ≈ 1.0 on
+// weekends (users shoot as much on weekends but sync/view less), a diurnal
+// cycle peaking in the (UTC) evening, and file sizes averaging ~1.5 MB.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace lepton::storage {
+
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24 * kHour;
+inline constexpr double kWeek = 7 * kDay;
+
+struct WorkloadModel {
+  double peak_encode_rate = 5.0;  // fleet-wide encodes/s at weekday peak
+  double weekday_decode_ratio = 1.5;
+  double weekend_decode_ratio = 1.0;
+
+  // t = seconds since Monday 00:00 UTC.
+  static bool is_weekend(double t) {
+    int day = static_cast<int>(std::fmod(t, kWeek) / kDay);
+    return day >= 5;
+  }
+
+  // Smooth diurnal shape in [0.35, 1.0], peaking around 19:00.
+  static double diurnal(double t) {
+    double hour = std::fmod(t, kDay) / kHour;
+    return 0.675 + 0.325 * std::sin((hour - 13.0) * 2 * M_PI / 24.0);
+  }
+
+  double encode_rate(double t) const {
+    // Uploads are similar on weekends (§5.4: "users tend to produce the
+    // same number of photos").
+    return peak_encode_rate * diurnal(t);
+  }
+
+  double decode_rate(double t) const {
+    double ratio = is_weekend(t) ? weekend_decode_ratio : weekday_decode_ratio;
+    return encode_rate(t) * ratio;
+  }
+
+  // File size distribution: log-normal clamped to (0, 4 MiB], mean ≈ 1.5 MB
+  // (§5.6.1: "images sized at an average of 1.5 MB each").
+  double sample_file_mb(util::Rng& rng) const {
+    double v = std::exp(rng.normal(0.05, 0.7));
+    return v > 4.0 ? 4.0 : (v < 0.02 ? 0.02 : v);
+  }
+};
+
+}  // namespace lepton::storage

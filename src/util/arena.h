@@ -1,0 +1,68 @@
+// Fixed-budget bump arena.
+//
+// Production Lepton allocates a zeroed 200-MiB region before reading any
+// input and never calls the allocator again (SECCOMP forbids mmap/brk —
+// §5.1). Decode is budgeted at 24 MiB, encode at 178 MiB; inputs that would
+// exceed the budget are rejected with a classified exit code rather than
+// grown (§6.2 ">24 MiB mem decode" / ">178 MiB mem encode" rows).
+//
+// This Arena reproduces that discipline: a single upfront zeroed buffer,
+// monotonic allocation, no growth, and a clean failure signal on exhaustion.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "util/tracked_memory.h"
+
+namespace lepton::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t capacity_bytes)
+      : buffer_(capacity_bytes, std::uint8_t{0}) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns nullptr when the budget is exhausted; never grows.
+  void* alloc(std::size_t bytes, std::size_t align = 16) {
+    auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
+    std::uintptr_t p = (base + used_ + align - 1) & ~(align - 1);
+    std::size_t off = p - base;
+    if (off + bytes > buffer_.size()) return nullptr;
+    used_ = off + bytes;
+    high_water_ = used_ > high_water_ ? used_ : high_water_;
+    return buffer_.data() + off;
+  }
+
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    void* p = alloc(count * sizeof(T), alignof(T));
+    if (p == nullptr) return nullptr;
+    // The region was zeroed at construction; placement-new for non-trivial
+    // types is the caller's job. All arena users here are trivial PODs.
+    return static_cast<T*>(p);
+  }
+
+  // Releases everything at once (between independent codec jobs). The next
+  // job observes zeroed memory, matching "all heap allocations are zeroed
+  // before use" (§5.2) so reuse cannot leak state across files.
+  void reset() {
+    std::memset(buffer_.data(), 0, used_);
+    used_ = 0;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+  std::size_t used() const { return used_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t remaining() const { return buffer_.size() - used_; }
+
+ private:
+  tracked_vector<std::uint8_t> buffer_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace lepton::util

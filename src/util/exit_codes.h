@@ -1,0 +1,55 @@
+// Exit-code taxonomy of the production system (§6.2 table). Every layer of
+// the codec classifies failures into one of these codes rather than
+// crashing; the backfill/qualification machinery and the tbl_error_codes
+// bench tally them exactly as the paper's table does.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lepton::util {
+
+enum class ExitCode : std::uint8_t {
+  kSuccess = 0,
+  kProgressive,         // SOF2 progressive JPEG (intentionally unsupported)
+  kUnsupportedJpeg,     // valid-ish JPEG using features we do not admit
+  kNotAnImage,          // starts with SOI but is not a decodable JPEG
+  kCmyk,                // 4-color component frame
+  kMemLimitDecode,      // would exceed the 24 MiB decode budget
+  kMemLimitEncode,      // would exceed the 178 MiB encode budget
+  kServerShutdown,      // graceful shutdown while job queued (simulator)
+  kImpossible,          // internal invariant violated ("Impossible" row)
+  kAbortSignal,         // abort raised (SECCOMP would forbid; tracked anyway)
+  kTimeout,             // conversion exceeded its deadline (simulator)
+  kChromaSubsampleBig,  // sampling factors larger than the framebuffer slice
+  kAcOutOfRange,        // coefficient outside the 8-bit baseline range
+  kRoundtripFailed,     // decode(encode(x)) != x; file not admitted
+  kOomKill,             // host OOM-killed the conversion (simulator)
+  kOperatorInterrupt,   // human interrupted the run (simulator)
+  kCount
+};
+
+constexpr std::string_view exit_code_name(ExitCode c) {
+  switch (c) {
+    case ExitCode::kSuccess: return "Success";
+    case ExitCode::kProgressive: return "Progressive";
+    case ExitCode::kUnsupportedJpeg: return "Unsupported JPEG";
+    case ExitCode::kNotAnImage: return "Not an image";
+    case ExitCode::kCmyk: return "4 color CMYK";
+    case ExitCode::kMemLimitDecode: return ">24 MiB mem decode";
+    case ExitCode::kMemLimitEncode: return ">178 MiB mem encode";
+    case ExitCode::kServerShutdown: return "Server shutdown";
+    case ExitCode::kImpossible: return "\"Impossible\"";
+    case ExitCode::kAbortSignal: return "Abort signal";
+    case ExitCode::kTimeout: return "Timeout";
+    case ExitCode::kChromaSubsampleBig: return "Chroma subsample big";
+    case ExitCode::kAcOutOfRange: return "AC values out of range";
+    case ExitCode::kRoundtripFailed: return "Roundtrip failed";
+    case ExitCode::kOomKill: return "OOM kill";
+    case ExitCode::kOperatorInterrupt: return "Operator interrupt";
+    case ExitCode::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace lepton::util

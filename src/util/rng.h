@@ -1,0 +1,77 @@
+// Deterministic seedable RNG (xoshiro256**). Every stochastic component in
+// this repository — corpus generation, workload arrivals, simulator noise —
+// draws from an explicitly seeded Rng so experiments replay bit-identically.
+// Determinism is a load-bearing property of the system under study (§5.2);
+// it is also one of the test suite's invariants.
+#pragma once
+
+#include <cstdint>
+
+namespace lepton::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9e3779b97f4a7c15ull;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+  bool chance(double p) { return uniform() < p; }
+
+  // Standard normal via Box-Muller (one value per call; simple and exact
+  // enough for simulator noise).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586 * u2);
+  }
+  double normal(double mean, double sd) { return mean + sd * normal(); }
+
+  // Exponential with given mean (Poisson interarrival times).
+  double exponential(double mean) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * __builtin_log(u);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace lepton::util

@@ -1,0 +1,112 @@
+// Little-endian fixed-width serialization used by the Lepton container
+// format (§A.1). Reads are bounds-checked and report failure through ok()
+// rather than throwing from hostile input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lepton::util {
+
+class Serializer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i16(std::int16_t v) { u16(static_cast<std::uint16_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  // Length-prefixed blob (u32 length).
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    bytes(b);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Deserializer {
+ public:
+  explicit Deserializer(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::uint16_t u16() {
+    std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  std::int16_t i16() { return static_cast<std::int16_t>(u16()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    std::vector<std::uint8_t> v(data_.begin() + pos_, data_.begin() + pos_ + n);
+    pos_ += n;
+    return v;
+  }
+  std::vector<std::uint8_t> blob() { return bytes(u32()); }
+
+  // Zero-copy view of the next n bytes.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return {};
+    }
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
+ private:
+  template <typename T>
+  T read() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace lepton::util

@@ -1,0 +1,97 @@
+// Statistics accumulators used by the benchmark harness and the deployment
+// simulator: exact percentiles over collected samples (the paper reports
+// p50/p75/p95/p99 throughout §4-§6) and Welford mean/stddev.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lepton::util {
+
+// Collects samples and answers exact percentile queries.
+class Percentiles {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  // p in [0, 100]. Linear interpolation between closest ranks.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    sort_if_needed();
+    if (samples_.size() == 1) return samples_[0];
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    auto hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double min() const { return percentile(0); }
+  double median() const { return percentile(50); }
+  double max() const { return percentile(100); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    double m = mean(), s = 0;
+    for (double v : samples_) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Numerically stable running mean/variance (Welford).
+class RunningStat {
+ public:
+  void add(double v) {
+    ++n_;
+    double d = v - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (v - mean_);
+  }
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+// Formats "p50/p75/p95/p99" rows the way the paper's figures label them.
+std::string format_percentiles(const Percentiles& p);
+
+}  // namespace lepton::util

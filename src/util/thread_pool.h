@@ -1,0 +1,87 @@
+// Pre-spawned worker pool.
+//
+// Production Lepton must pre-spawn its threads before entering SECCOMP
+// (clone() is forbidden afterwards — §5.1). The codec therefore takes a
+// pool of already-running workers rather than spawning per job. The pool is
+// also how the bench harness pins "N-thread" codec configurations.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lepton::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads) {
+    workers_.reserve(n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Runs `fn(i)` for i in [0, n) on up to `threads` concurrent std::threads
+// and joins them all (RAII-style structured parallelism; simpler than the
+// pool when each codec job owns its segment workers, as Lepton does).
+template <typename Fn>
+void parallel_for_segments(int n, int threads, Fn&& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> ts;
+  ts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) ts.emplace_back([&fn, i] { fn(i); });
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace lepton::util

@@ -1,0 +1,100 @@
+// Process-wide allocation accounting.
+//
+// The paper evaluates codecs by max resident memory (Figure 3) and Lepton
+// enforces hard budgets (24 MiB decode / 178 MiB encode — §4.2, §6.2).
+// Rather than fork a process per codec and read RUSAGE, every codec in this
+// repository routes its bulk allocations through TrackedAllocator, and a
+// MemoryGauge captures the high-water mark over a scoped region.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace lepton::util {
+
+class MemoryTracker {
+ public:
+  static MemoryTracker& instance() {
+    static MemoryTracker t;
+    return t;
+  }
+
+  void on_alloc(std::size_t n) {
+    std::size_t cur = current_.fetch_add(n, std::memory_order_relaxed) + n;
+    // Lock-free high-water update.
+    std::size_t hw = high_water_.load(std::memory_order_relaxed);
+    while (cur > hw &&
+           !high_water_.compare_exchange_weak(hw, cur,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+  void on_free(std::size_t n) {
+    current_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  std::size_t current() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+  // Resets the high-water mark to the current level (start of a gauge).
+  void reset_high_water() {
+    high_water_.store(current_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> high_water_{0};
+};
+
+// STL-compatible allocator that reports to the MemoryTracker.
+template <typename T>
+class TrackedAllocator {
+ public:
+  using value_type = T;
+  TrackedAllocator() = default;
+  template <typename U>
+  TrackedAllocator(const TrackedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    std::size_t bytes = n * sizeof(T);
+    MemoryTracker::instance().on_alloc(bytes);
+    return static_cast<T*>(::operator new(bytes));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    MemoryTracker::instance().on_free(n * sizeof(T));
+    ::operator delete(p);
+  }
+  bool operator==(const TrackedAllocator&) const { return true; }
+};
+
+template <typename T>
+using tracked_vector = std::vector<T, TrackedAllocator<T>>;
+
+// RAII scope measuring the peak of tracked allocations within the scope.
+// Single-measurement sections should not overlap across threads; the bench
+// harness measures one codec at a time.
+class MemoryGauge {
+ public:
+  MemoryGauge() : start_(MemoryTracker::instance().current()) {
+    MemoryTracker::instance().reset_high_water();
+  }
+  // Peak tracked bytes allocated above the level at construction.
+  std::size_t peak_bytes() const {
+    std::size_t hw = MemoryTracker::instance().high_water();
+    return hw > start_ ? hw - start_ : 0;
+  }
+
+ private:
+  std::size_t start_;
+};
+
+}  // namespace lepton::util

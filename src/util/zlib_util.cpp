@@ -1,0 +1,58 @@
+#include "util/zlib_util.h"
+
+#include <zlib.h>
+
+namespace lepton::util {
+
+std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> data,
+                                        int level) {
+  uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  std::vector<std::uint8_t> out(bound);
+  int rc = compress2(out.data(), &bound, data.data(),
+                     static_cast<uLong>(data.size()), level);
+  if (rc != Z_OK) {
+    out.clear();
+    return out;
+  }
+  out.resize(bound);
+  return out;
+}
+
+bool zlib_decompress(std::span<const std::uint8_t> data,
+                     std::vector<std::uint8_t>& out, std::size_t max_output) {
+  out.clear();
+  z_stream zs{};
+  if (inflateInit(&zs) != Z_OK) return false;
+  zs.next_in = const_cast<Bytef*>(data.data());
+  zs.avail_in = static_cast<uInt>(data.size());
+
+  std::uint8_t chunk[1 << 16];
+  int rc = Z_OK;
+  while (rc != Z_STREAM_END) {
+    zs.next_out = chunk;
+    zs.avail_out = sizeof(chunk);
+    rc = inflate(&zs, Z_NO_FLUSH);
+    if (rc != Z_OK && rc != Z_STREAM_END) {
+      inflateEnd(&zs);
+      out.clear();
+      return false;
+    }
+    std::size_t produced = sizeof(chunk) - zs.avail_out;
+    if (out.size() + produced > max_output) {
+      inflateEnd(&zs);
+      out.clear();
+      return false;
+    }
+    out.insert(out.end(), chunk, chunk + produced);
+    if (rc == Z_OK && zs.avail_in == 0 && produced == 0) {
+      // Truncated stream.
+      inflateEnd(&zs);
+      out.clear();
+      return false;
+    }
+  }
+  inflateEnd(&zs);
+  return true;
+}
+
+}  // namespace lepton::util

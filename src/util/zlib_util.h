@@ -1,0 +1,24 @@
+// Thin RAII wrappers over zlib. Lepton compresses JPEG header bytes with
+// Deflate (§3.1) and the production system falls back to Deflate for files
+// Lepton rejects (§5.7); Deflate is also one of the generic baselines in
+// Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lepton::util {
+
+// Compresses with zlib at the given level (1..9). Never fails for valid
+// levels; returns the zlib-framed stream.
+std::vector<std::uint8_t> zlib_compress(std::span<const std::uint8_t> data,
+                                        int level = 6);
+
+// Inflates a zlib stream. Returns false on corrupt input (output cleared).
+// `max_output` bounds decompression-bomb exposure from hostile containers.
+bool zlib_decompress(std::span<const std::uint8_t> data,
+                     std::vector<std::uint8_t>& out,
+                     std::size_t max_output = 512u << 20);
+
+}  // namespace lepton::util

@@ -1,0 +1,194 @@
+// Tests for the comparison codecs: every codec must restore exact bytes;
+// the JPEG-aware family must actually compress JPEGs while the generic
+// family must not (the Figure 2 dichotomy); and the PackJPG-like coder must
+// show its defining behaviours (global-sort decode, whole-file memory).
+#include <gtest/gtest.h>
+
+#include "baselines/arith_jpeg.h"
+#include "baselines/codec_iface.h"
+#include "baselines/generic_codecs.h"
+#include "baselines/lepton_codec.h"
+#include "baselines/packjpg_like.h"
+#include "baselines/rescan_like.h"
+#include "corpus/corpus.h"
+#include "corpus/image_gen.h"
+#include "jpeg/jfif_builder.h"
+
+namespace lb = lepton::baselines;
+namespace lc = lepton::corpus;
+using lepton::util::ExitCode;
+
+namespace {
+
+std::vector<std::uint8_t> test_jpeg(std::size_t target, std::uint64_t seed) {
+  return lc::jpeg_of_size(target, seed);
+}
+
+}  // namespace
+
+class AllCodecsRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllCodecsRoundTrip, ExactBytes) {
+  auto codecs = lb::make_comparison_codecs();
+  auto& codec = codecs[static_cast<std::size_t>(GetParam())];
+  auto file = test_jpeg(60 << 10, 900);
+  auto enc = codec->encode({file.data(), file.size()});
+  ASSERT_TRUE(enc.ok()) << codec->name();
+  auto dec = codec->decode({enc.data.data(), enc.data.size()});
+  ASSERT_TRUE(dec.ok()) << codec->name();
+  EXPECT_EQ(dec.data, file) << codec->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Lineup, AllCodecsRoundTrip,
+                         ::testing::Range(0, 11),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           auto codecs = lb::make_comparison_codecs();
+                           std::string n =
+                               codecs[static_cast<std::size_t>(info.param)]
+                                   ->name();
+                           for (auto& ch : n) {
+                             if (!isalnum(static_cast<unsigned char>(ch))) {
+                               ch = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST(Baselines, JpegAwareCompressesGenericDoesNot) {
+  // The Figure 2 dichotomy: JPEG-aware codecs save >= ~8%; generic codecs
+  // save ~0-2% on JPEG bytes.
+  auto file = test_jpeg(100 << 10, 901);
+  auto codecs = lb::make_comparison_codecs();
+  for (auto& codec : codecs) {
+    auto enc = codec->encode({file.data(), file.size()});
+    ASSERT_TRUE(enc.ok()) << codec->name();
+    double savings =
+        1.0 - static_cast<double>(enc.data.size()) / file.size();
+    if (codec->jpeg_aware()) {
+      EXPECT_GT(savings, 0.06) << codec->name();
+    } else {
+      // Generic codecs compress only the (EXIF-bearing) header: a few
+      // percent on a ~100 KiB file, less on bigger ones — the paper's ~1%.
+      EXPECT_LT(savings, 0.06) << codec->name();
+      EXPECT_GT(savings, -0.02) << codec->name();
+    }
+  }
+}
+
+TEST(Baselines, LeptonMatchesPackJpgLikeRatio) {
+  // §1: "Lepton matches the compression efficiency of the best prior work".
+  // Our Lepton must be at least as good as the PackJPG-like coder.
+  auto file = test_jpeg(150 << 10, 902);
+  lb::LeptonCodecAdapter lepton(/*one_way=*/true);
+  lb::PackJpgLikeCodec packjpg;
+  auto a = lepton.encode({file.data(), file.size()});
+  auto b = packjpg.encode({file.data(), file.size()});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(static_cast<double>(a.data.size()),
+            static_cast<double>(b.data.size()) * 1.02);
+}
+
+TEST(Baselines, PaqModeCompressesAtLeastAsWellAsPackJpg) {
+  auto file = test_jpeg(120 << 10, 903);
+  lb::PackJpgLikeCodec plain(false), paq(true);
+  auto a = plain.encode({file.data(), file.size()});
+  auto b = paq.encode({file.data(), file.size()});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b.data.size(), a.data.size() + a.data.size() / 100);
+}
+
+TEST(Baselines, RatioOrderingMatchesFigure1) {
+  // Figure 1's x-axis ordering: packjpg/lepton ~23% > mozjpeg-arith ~12%
+  // > jpegrescan ~8%. Absolute numbers differ on a synthetic corpus; the
+  // ordering must hold.
+  auto file = test_jpeg(200 << 10, 904);
+  lb::LeptonCodecAdapter lepton(false);
+  lb::ArithJpegCodec arith;
+  lb::RescanLikeCodec rescan;
+  auto sl = lepton.encode({file.data(), file.size()});
+  auto sa = arith.encode({file.data(), file.size()});
+  auto sr = rescan.encode({file.data(), file.size()});
+  ASSERT_TRUE(sl.ok());
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sr.ok());
+  EXPECT_LT(sl.data.size(), sa.data.size());
+  EXPECT_LT(sa.data.size(), sr.data.size());
+}
+
+TEST(Baselines, ArithJpegModelIsSmallLikeTheSpec) {
+  // §3.2: the JPEG spec's arithmetic extension uses ~300 bins; ours must be
+  // the same order of magnitude (not Lepton's several hundred thousand).
+  EXPECT_LT(lb::ArithJpegCodec::bin_count(), 2000u);
+  EXPECT_GT(lb::ArithJpegCodec::bin_count(), 100u);
+}
+
+TEST(Baselines, RejectionsClassified) {
+  std::vector<std::uint8_t> junk(1000, 0x42);
+  lb::PackJpgLikeCodec packjpg;
+  EXPECT_EQ(packjpg.encode({junk.data(), junk.size()}).code,
+            ExitCode::kNotAnImage);
+  lb::RescanLikeCodec rescan;
+  EXPECT_EQ(rescan.encode({junk.data(), junk.size()}).code,
+            ExitCode::kNotAnImage);
+}
+
+TEST(Baselines, HostileBaselineContainersAreSafe) {
+  auto file = test_jpeg(40 << 10, 905);
+  lb::RescanLikeCodec rescan;
+  auto enc = rescan.encode({file.data(), file.size()});
+  ASSERT_TRUE(enc.ok());
+  lepton::util::Rng rng(906);
+  for (int i = 0; i < 60; ++i) {
+    auto mutated = enc.data;
+    mutated[rng.below(mutated.size())] ^= 0xFF;
+    (void)rescan.decode({mutated.data(), mutated.size()});
+  }
+  SUCCEED();
+}
+
+// ---- Corpus ----------------------------------------------------------------
+
+TEST(Corpus, DeterministicAndSized) {
+  lc::CorpusOptions opts;
+  opts.valid_files = 6;
+  opts.min_bytes = 20 << 10;
+  opts.max_bytes = 100 << 10;
+  auto a = lc::build_corpus(opts);
+  auto b = lc::build_corpus(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << a[i].label;
+  }
+  // Valid files must hit the size band (loosely; content-dependent).
+  for (const auto& f : a) {
+    if (f.kind == lc::FileKind::kBaselineJpeg) {
+      EXPECT_GT(f.bytes.size(), 8u << 10) << f.label;
+      EXPECT_LT(f.bytes.size(), 300u << 10) << f.label;
+    }
+  }
+}
+
+TEST(Corpus, CoversAnomalyTaxonomy) {
+  lc::CorpusOptions opts;
+  opts.valid_files = 8;
+  opts.min_bytes = 15 << 10;
+  opts.max_bytes = 40 << 10;
+  auto corpus = lc::build_corpus(opts);
+  bool kinds[9] = {};
+  for (const auto& f : corpus) kinds[static_cast<int>(f.kind)] = true;
+  for (int k = 0; k < 9; ++k) EXPECT_TRUE(kinds[k]) << "missing kind " << k;
+}
+
+TEST(Corpus, ImageStylesProduceDifferentSpectra) {
+  // Texture images must encode larger than smooth gradients at the same
+  // dimensions/quality — sanity that styles actually differ.
+  auto smooth = lepton::corpus::generate_image(
+      256, 256, 3, lc::ImageStyle::kSmoothGradient, 1);
+  auto texture =
+      lepton::corpus::generate_image(256, 256, 3, lc::ImageStyle::kTexture, 1);
+  auto a = lepton::jpegfmt::build_jfif(smooth, {});
+  auto b = lepton::jpegfmt::build_jfif(texture, {});
+  EXPECT_LT(a.size() * 12 / 10, b.size());
+}

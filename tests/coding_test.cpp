@@ -1,0 +1,161 @@
+// Tests for the arithmetic-coding layer: range-coder round trips (including
+// adversarial probability sequences that exercise carry propagation),
+// branch adaptation, and the symmetric value/tree coders.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coding/bool_coder.h"
+#include "coding/branch.h"
+#include "coding/coder_ops.h"
+#include "util/rng.h"
+
+namespace lc = lepton::coding;
+
+TEST(BoolCoder, RoundTripFixedProb) {
+  lc::BoolEncoder enc;
+  lepton::util::Rng rng(1);
+  std::vector<bool> bits(10000);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = rng.chance(0.3);
+  for (bool b : bits) enc.put(b, 179);  // P(0) = 0.7
+  auto data = enc.finish();
+  lc::BoolDecoder dec({data.data(), data.size()});
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    ASSERT_EQ(dec.get(179), bits[i]) << "bit " << i;
+  }
+}
+
+TEST(BoolCoder, RoundTripRandomProbs) {
+  // Same probability sequence on both sides; values random. Extreme probs
+  // (1 and 255) stress renormalization and carries.
+  lepton::util::Rng rng(2);
+  std::vector<std::uint8_t> probs(20000);
+  std::vector<bool> bits(20000);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    std::uint8_t p = static_cast<std::uint8_t>(1 + rng.below(255));
+    probs[i] = p;
+    bits[i] = rng.chance(1.0 - p / 256.0);
+  }
+  lc::BoolEncoder enc;
+  for (std::size_t i = 0; i < bits.size(); ++i) enc.put(bits[i], probs[i]);
+  auto data = enc.finish();
+  lc::BoolDecoder dec({data.data(), data.size()});
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    ASSERT_EQ(dec.get(probs[i]), bits[i]) << "bit " << i;
+  }
+}
+
+TEST(BoolCoder, CarryStress) {
+  // Long runs of the improbable branch force low_ toward the top of the
+  // range: the classic carry-propagation torture test.
+  lc::BoolEncoder enc;
+  for (int i = 0; i < 5000; ++i) enc.put(true, 255);   // improbable ones
+  for (int i = 0; i < 5000; ++i) enc.put(false, 1);    // improbable zeros
+  auto data = enc.finish();
+  lc::BoolDecoder dec({data.data(), data.size()});
+  for (int i = 0; i < 5000; ++i) ASSERT_TRUE(dec.get(255));
+  for (int i = 0; i < 5000; ++i) ASSERT_FALSE(dec.get(1));
+}
+
+TEST(BoolCoder, CompressionApproachesEntropy) {
+  // 50k bits at P(0)=0.9 → H ≈ 0.469 bits/bit ≈ 2930 bytes.
+  lepton::util::Rng rng(3);
+  lc::BoolEncoder enc;
+  int n = 50000;
+  for (int i = 0; i < n; ++i) enc.put(rng.chance(0.1), 230);
+  auto data = enc.finish();
+  double bits_per_symbol = data.size() * 8.0 / n;
+  EXPECT_LT(bits_per_symbol, 0.52);
+  EXPECT_GT(bits_per_symbol, 0.40);
+}
+
+TEST(BoolCoder, TruncatedInputIsSafe) {
+  lc::BoolEncoder enc;
+  for (int i = 0; i < 1000; ++i) enc.put(i % 3 == 0, 128);
+  auto data = enc.finish();
+  data.resize(data.size() / 4);  // truncate hard
+  lc::BoolDecoder dec({data.data(), data.size()});
+  for (int i = 0; i < 1000; ++i) {
+    (void)dec.get(128);  // must not crash or read OOB
+  }
+  SUCCEED();
+}
+
+TEST(Branch, StartsAtHalf) {
+  lc::Branch b;
+  EXPECT_EQ(b.prob_zero(), 128);
+}
+
+TEST(Branch, AdaptsTowardObservations) {
+  lc::Branch b;
+  for (int i = 0; i < 100; ++i) b.record(false);
+  EXPECT_GT(b.prob_zero(), 220);
+  lc::Branch b2;
+  for (int i = 0; i < 100; ++i) b2.record(true);
+  EXPECT_LT(b2.prob_zero(), 36);
+}
+
+TEST(Branch, SaturationRenormalizes) {
+  lc::Branch b;
+  for (int i = 0; i < 10000; ++i) b.record(true);
+  // Still adapts after renormalization; probability stays clamped in range.
+  EXPECT_GE(b.prob_zero(), 1);
+  EXPECT_LE(b.prob_zero(), 255);
+  for (int i = 0; i < 300; ++i) b.record(false);
+  EXPECT_GT(b.prob_zero(), 128) << "must re-adapt after a regime change";
+}
+
+TEST(CoderOps, ValueRoundTripAllMagnitudes) {
+  // Encode every value in [-1023, 1023] and decode with a fresh-but-equal
+  // model: branches adapt identically on both sides.
+  std::vector<lc::Branch> exp_e(11), res_e(10);
+  lc::Branch sign_e;
+  lc::BoolEncoder enc;
+  lc::EncodeOps eops{&enc};
+  for (int v = -1023; v <= 1023; ++v) {
+    lc::code_value(eops, exp_e.data(), &sign_e, res_e.data(), 10, v);
+  }
+  auto data = enc.finish();
+
+  std::vector<lc::Branch> exp_d(11), res_d(10);
+  lc::Branch sign_d;
+  lc::BoolDecoder dec({data.data(), data.size()});
+  lc::DecodeOps dops{&dec};
+  for (int v = -1023; v <= 1023; ++v) {
+    ASSERT_EQ(lc::code_value(dops, exp_d.data(), &sign_d, res_d.data(), 10, 0),
+              v);
+  }
+}
+
+TEST(CoderOps, TreeRoundTrip) {
+  std::vector<lc::Branch> tree_e(64), tree_d(64);
+  lc::BoolEncoder enc;
+  lc::EncodeOps eops{&enc};
+  lepton::util::Rng rng(4);
+  std::vector<std::uint32_t> vals(500);
+  for (auto& v : vals) v = static_cast<std::uint32_t>(rng.below(50));
+  for (auto v : vals) lc::code_tree(eops, tree_e.data(), 6, v);
+  auto data = enc.finish();
+  lc::BoolDecoder dec({data.data(), data.size()});
+  lc::DecodeOps dops{&dec};
+  for (auto v : vals) {
+    ASSERT_EQ(lc::code_tree(dops, tree_d.data(), 6, 0), v);
+  }
+}
+
+TEST(CoderOps, AdaptiveValueCodingCompresses) {
+  // Skewed value distribution (mostly zeros) should cost well under the
+  // fixed-width equivalent once branches adapt.
+  std::vector<lc::Branch> exp_b(11), res_b(10);
+  lc::Branch sign_b;
+  lc::BoolEncoder enc;
+  lc::EncodeOps ops{&enc};
+  lepton::util::Rng rng(5);
+  int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    int v = rng.chance(0.9) ? 0 : static_cast<int>(rng.range(-3, 3));
+    lc::code_value(ops, exp_b.data(), &sign_b, res_b.data(), 10, v);
+  }
+  auto data = enc.finish();
+  EXPECT_LT(data.size() * 8.0 / n, 1.5) << "bits per mostly-zero value";
+}

@@ -1,0 +1,230 @@
+// Tests for the deployment simulator: event ordering, workload shape
+// (Figure 5 weekday/weekend behaviour), outsourcing effects (Figures 9/10),
+// backfill power accounting and the §5.6.1 cost constants, rollout dynamics
+// (Figures 13/14) and the THP latency model (Figure 12).
+#include <gtest/gtest.h>
+
+#include "storage/backfill.h"
+#include "storage/event_sim.h"
+#include "storage/fleet.h"
+#include "storage/rollout.h"
+#include "storage/workload.h"
+
+namespace ls = lepton::storage;
+
+TEST(EventSim, OrdersEventsAndBreaksTiesByInsertion) {
+  ls::EventSim sim;
+  std::vector<int> order;
+  sim.at(2.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(4); });  // same time: insertion order
+  sim.at(1.5, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 10.0);
+}
+
+TEST(EventSim, NestedSchedulingWorks) {
+  ls::EventSim sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) sim.after(1.0, tick);
+  };
+  sim.after(1.0, tick);
+  sim.run_until(50.0);
+  EXPECT_EQ(count, 50);
+  sim.run_until(1000.0);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Workload, WeekdayDecodeRatioHigherThanWeekend) {
+  // The Figure 5 phenomenon: weekday decode:encode → 1.5, weekend → 1.0.
+  ls::WorkloadModel wl;
+  double tuesday_noon = 1 * ls::kDay + 12 * ls::kHour;
+  double saturday_noon = 5 * ls::kDay + 12 * ls::kHour;
+  EXPECT_NEAR(wl.decode_rate(tuesday_noon) / wl.encode_rate(tuesday_noon),
+              1.5, 1e-9);
+  EXPECT_NEAR(wl.decode_rate(saturday_noon) / wl.encode_rate(saturday_noon),
+              1.0, 1e-9);
+}
+
+TEST(Workload, DiurnalPeaksInEvening) {
+  ls::WorkloadModel wl;
+  double peak = ls::WorkloadModel::diurnal(19 * ls::kHour);
+  double trough = ls::WorkloadModel::diurnal(7 * ls::kHour);
+  EXPECT_GT(peak, trough * 1.8);
+  EXPECT_LE(peak, 1.0 + 1e-9);
+}
+
+TEST(Workload, FileSizesBoundedAndAverageNearPaper) {
+  ls::WorkloadModel wl;
+  lepton::util::Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = wl.sample_file_mb(rng);
+    ASSERT_GT(v, 0.0);
+    ASSERT_LE(v, 4.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 1.5, 0.4) << "§5.6.1: ~1.5 MB average image";
+}
+
+namespace {
+
+// Small calibrated fleet: ~8 conversions/s per blockserver at peak (§5.5's
+// "average of 5 encodes/s" per machine), 6 simulated hours spanning the
+// 19:00 peak.
+ls::FleetConfig small_fleet(ls::OutsourcePolicy policy) {
+  ls::FleetConfig cfg;
+  cfg.blockservers = 16;
+  cfg.dedicated = 4;
+  cfg.policy = policy;
+  cfg.sim_start_hour = 14.0;
+  return cfg;
+}
+
+ls::WorkloadModel peak_workload() {
+  ls::WorkloadModel wl;
+  wl.peak_encode_rate = 128.0;  // fleet-wide; 8/s per blockserver
+  return wl;
+}
+
+}  // namespace
+
+TEST(Fleet, OutsourcingReducesPeakTailLatency) {
+  // Figure 10's headline: outsourcing halves p99 at peak.
+  auto wl = peak_workload();
+  auto control = small_fleet(ls::OutsourcePolicy::kControl);
+  auto dedicated = small_fleet(ls::OutsourcePolicy::kToDedicated);
+
+  auto mc = ls::simulate_fleet(control, wl, 0.25);
+  auto md = ls::simulate_fleet(dedicated, wl, 0.25);
+  ASSERT_GT(mc.latency_at_peak.count(), 100u);
+  ASSERT_GT(md.latency_at_peak.count(), 100u);
+  EXPECT_LT(md.latency_at_peak.percentile(99),
+            mc.latency_at_peak.percentile(99) * 0.75);
+  EXPECT_GT(md.outsourced, 0u);
+  EXPECT_EQ(mc.outsourced, 0u);
+}
+
+TEST(Fleet, ToSelfBetterThanControlWorseOrEqualToDedicatedAtPeak) {
+  auto wl = peak_workload();
+  auto control =
+      ls::simulate_fleet(small_fleet(ls::OutsourcePolicy::kControl), wl, 0.25);
+  auto toself =
+      ls::simulate_fleet(small_fleet(ls::OutsourcePolicy::kToSelf), wl, 0.25);
+  auto dedicated = ls::simulate_fleet(
+      small_fleet(ls::OutsourcePolicy::kToDedicated), wl, 0.25);
+
+  double c99 = control.latency_at_peak.percentile(99);
+  double s99 = toself.latency_at_peak.percentile(99);
+  double d99 = dedicated.latency_at_peak.percentile(99);
+  EXPECT_LT(s99, c99);
+  EXPECT_LE(d99, s99 * 1.15) << "dedicated wins (or ties) at peak, §5.5.1";
+}
+
+TEST(Fleet, ControlShowsOversubscriptionInConcurrencySeries) {
+  // Figure 9: the control fleet routinely sees double-digit concurrent
+  // conversions on some machine, far above the 2 that saturate it.
+  auto wl = peak_workload();
+  auto m =
+      ls::simulate_fleet(small_fleet(ls::OutsourcePolicy::kControl), wl, 0.25);
+  double max_p99 = 0;
+  for (double v : m.concurrency_p99_series) max_p99 = std::max(max_p99, v);
+  EXPECT_GT(max_p99, 6.0);
+
+  auto md = ls::simulate_fleet(small_fleet(ls::OutsourcePolicy::kToDedicated),
+                               wl, 0.25);
+  double max_p99_d = 0;
+  for (std::size_t i = 0; i < md.concurrency_p99_series.size(); ++i) {
+    max_p99_d = std::max(max_p99_d, md.concurrency_p99_series[i]);
+  }
+  EXPECT_LT(max_p99_d, max_p99);
+}
+
+TEST(Fleet, DeterministicUnderSeed) {
+  auto wl = peak_workload();
+  auto cfg = small_fleet(ls::OutsourcePolicy::kToSelf);
+  auto a = ls::simulate_fleet(cfg, wl, 0.1);
+  auto b = ls::simulate_fleet(cfg, wl, 0.1);
+  EXPECT_EQ(a.conversions, b.conversions);
+  EXPECT_EQ(a.concurrency_p99_series, b.concurrency_p99_series);
+}
+
+TEST(Backfill, PowerStepsDownDuringOutage) {
+  ls::BackfillConfig cfg;
+  auto series = ls::simulate_backfill_day(cfg, 10.0, 14.0);
+  double active_power = 0, outage_power = 0;
+  int na = 0, no = 0;
+  for (const auto& s : series) {
+    if (s.hour > 2 && s.hour < 9) {
+      active_power += s.power_kw;
+      ++na;
+    }
+    if (s.hour > 11 && s.hour < 13.5) {
+      outage_power += s.power_kw;
+      ++no;
+    }
+  }
+  active_power /= na;
+  outage_power /= no;
+  EXPECT_NEAR(active_power - outage_power, cfg.backfill_power_kw, 10.0)
+      << "Figure 11: the 121 kW step";
+  EXPECT_NEAR(active_power, cfg.cluster_power_kw, 12.0);
+}
+
+TEST(Backfill, CostModelMatchesPaperConstants) {
+  // §5.6.1's arithmetic, which we must reproduce from first principles.
+  auto m = ls::compute_cost_model(ls::BackfillConfig{});
+  EXPECT_NEAR(m.conversions_per_kwh, 72300, 2000);
+  EXPECT_NEAR(m.gib_saved_per_kwh, 24.0, 2.0);
+  EXPECT_NEAR(m.breakeven_kwh_price_depowered_disk, 0.58, 0.06);
+  EXPECT_NEAR(m.images_per_server_year / 1e6, 181.5, 6.0);
+  EXPECT_NEAR(m.tib_saved_per_server_year, 58.8, 3.0);
+  EXPECT_NEAR(m.s3_ia_cost_per_server_year_usd, 9031, 500);
+}
+
+TEST(Rollout, RatioClimbsLikeFigure13) {
+  ls::RolloutConfig cfg;
+  auto series = ls::simulate_rollout(cfg);
+  ASSERT_GT(series.size(), 60u);
+  EXPECT_LT(series[3].ratio, 0.5) << "early: hardly any Lepton decodes";
+  EXPECT_GT(series.back().ratio, 1.2) << "late: approaching steady state";
+  // Monotonic-ish climb.
+  EXPECT_GT(series[60].ratio, series[10].ratio);
+}
+
+TEST(Rollout, TailLatencyGrowsLikeFigure14) {
+  ls::RolloutConfig cfg;
+  auto series = ls::simulate_rollout(cfg);
+  double early_p99 = series[5].p99;
+  double late_p99 = series.back().p99;
+  EXPECT_GT(late_p99, early_p99 * 4)
+      << "p99 reaches multi-second territory before outsourcing";
+  EXPECT_LT(series.back().p50, 0.25)
+      << "median stays modest even as the tail blows up";
+}
+
+TEST(Thp, DisablingThpFixesTailNotMedian) {
+  ls::ThpConfig cfg;
+  auto series = ls::simulate_thp(cfg);
+  double p99_on = 0, p99_off = 0, p50_on = 0, p50_off = 0;
+  int on = 0, off = 0;
+  for (const auto& s : series) {
+    if (s.hour < cfg.disable_at_hour) {
+      p99_on += s.p99;
+      p50_on += s.p50;
+      ++on;
+    } else {
+      p99_off += s.p99;
+      p50_off += s.p50;
+      ++off;
+    }
+  }
+  p99_on /= on;
+  p99_off /= off;
+  p50_on /= on;
+  p50_off /= off;
+  EXPECT_GT(p99_on, p99_off * 3) << "Figure 12: the p99 collapse";
+  EXPECT_NEAR(p50_on, p50_off, 0.01) << "median barely moves (§6.3)";
+}
