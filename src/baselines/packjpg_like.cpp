@@ -62,6 +62,13 @@ struct MixEncodeOps {
     b.record(bit);
     return bit;
   }
+
+  // Raw-bit batch (coder_ops.h contract); the mixing model has no second
+  // opinion on uniform bits.
+  std::uint32_t code_literal(std::uint32_t bits, int count) {
+    enc->put_literal(bits, count);
+    return bits;
+  }
 };
 
 struct MixDecodeOps {
@@ -81,6 +88,10 @@ struct MixDecodeOps {
     }
     b.record(bit);
     return bit;
+  }
+
+  std::uint32_t code_literal(std::uint32_t /*hint*/, int count) {
+    return dec->get_literal(count);
   }
 };
 

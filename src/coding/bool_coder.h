@@ -6,12 +6,21 @@
 // zero — using the carry-counting low/cache scheme (LZMA lineage) rather
 // than VP8's emitted-byte carry walk-back, because it handles carries
 // without revisiting the output buffer. Entropy performance is equivalent
-// (documented as a substitution in DESIGN.md §5).
+// (documented as a substitution in DESIGN.md).
 //
 // Probabilities are P(bit == 0) scaled to [1, 255]. The decoder never reads
 // past the end of its input: a truncated or hostile stream yields garbage
 // bits, never undefined behaviour — the codec's outer round-trip gate is
-// what decides admissibility (§5.7).
+// what decides admissibility (§5.7). Whether the decoder *did* run past the
+// end is recorded and exposed via overran(), so validation layers can
+// distinguish exact consumption from truncation.
+//
+// Hot-path notes (DESIGN.md "Performance architecture"):
+//  * the encoder can write into a caller-owned, capacity-reserved buffer so
+//    a long-lived CodecContext reuses one allocation across files, and
+//  * both sides have a put_literal/get_literal fast path for raw-bit runs
+//    that subdivides the range by powers of two directly — no probability
+//    multiply, no branch-statistics update.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +31,17 @@ namespace lepton::coding {
 
 class BoolEncoder {
  public:
+  // Encodes into an internal buffer (finish() moves it out).
+  BoolEncoder() : out_(&own_) {}
+
+  // Encodes into `*out`, which is cleared up front but keeps its capacity —
+  // the CodecContext scratch-reuse path. The buffer must outlive finish().
+  explicit BoolEncoder(std::vector<std::uint8_t>* out) : out_(out) {
+    out_->clear();
+  }
+
+  void reserve(std::size_t bytes) { out_->reserve(bytes); }
+
   void put(bool bit, std::uint8_t prob_zero) {
     std::uint32_t bound = (range_ >> 8) * prob_zero;
     if (!bit) {
@@ -36,23 +56,49 @@ class BoolEncoder {
     }
   }
 
-  // Terminates the stream; the encoder must not be used afterwards.
-  std::vector<std::uint8_t> finish() {
-    for (int i = 0; i < 5; ++i) shift_low();
-    return std::move(out_);
+  // Raw-bit fast path: appends the low `count` bits of `bits` (MSB first)
+  // by halving the range per bit. Pairs with BoolDecoder::get_literal; the
+  // bit cost is exactly 1.0 and no model state is touched.
+  void put_literal(std::uint32_t bits, int count) {
+    for (int i = count - 1; i >= 0; --i) {
+      range_ >>= 1;
+      if ((bits >> i) & 1u) low_ += range_;
+      while (range_ < (1u << 24)) {
+        range_ <<= 8;
+        shift_low();
+      }
+    }
   }
 
-  std::size_t bytes_so_far() const { return out_.size(); }
+  // Terminates the stream and returns the bytes. With an external buffer the
+  // same bytes are also left in that buffer (the return value moves from
+  // it only when the encoder owns the storage). The encoder must not be
+  // used afterwards.
+  std::vector<std::uint8_t> finish() {
+    flush();
+    if (out_ == &own_) return std::move(own_);
+    return *out_;
+  }
+
+  // Terminates the stream, leaving the bytes in the buffer passed at
+  // construction (no copy). Only valid with an external buffer.
+  void finish_into_buffer() { flush(); }
+
+  std::size_t bytes_so_far() const { return out_->size(); }
 
  private:
+  void flush() {
+    for (int i = 0; i < 5; ++i) shift_low();
+  }
+
   void shift_low() {
     if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
       auto carry = static_cast<std::uint8_t>(low_ >> 32);
       if (!first_) {
-        out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+        out_->push_back(static_cast<std::uint8_t>(cache_ + carry));
       }
       for (; pending_ff_ > 0; --pending_ff_) {
-        out_.push_back(static_cast<std::uint8_t>(0xFF + carry));
+        out_->push_back(static_cast<std::uint8_t>(0xFF + carry));
       }
       cache_ = static_cast<std::uint8_t>(low_ >> 24);
       first_ = false;
@@ -62,7 +108,8 @@ class BoolEncoder {
     low_ = (low_ & 0x00FFFFFFull) << 8;
   }
 
-  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* out_;
   std::uint64_t low_ = 0;
   std::uint32_t range_ = 0xFFFFFFFFu;
   std::uint8_t cache_ = 0;
@@ -94,19 +141,48 @@ class BoolDecoder {
     return bit;
   }
 
+  // Raw-bit fast path mirroring BoolEncoder::put_literal. Returns `count`
+  // bits MSB-first.
+  std::uint32_t get_literal(int count) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < count; ++i) {
+      range_ >>= 1;
+      std::uint32_t bit = code_ >= range_ ? 1u : 0u;
+      if (bit) code_ -= range_;
+      v = (v << 1) | bit;
+      while (range_ < (1u << 24)) {
+        range_ <<= 8;
+        code_ = (code_ << 8) | next_byte();
+      }
+    }
+    return v;
+  }
+
   // True once the decoder has consumed (or run past) all input; used by
   // validation, not required for correctness.
   bool exhausted() const { return pos_ >= d_.size(); }
 
+  // True iff the decoder needed bytes beyond the end of its input — i.e.
+  // the stream was truncated relative to what the coded data demanded. A
+  // well-formed stream decodes to exactly its own length and never sets
+  // this; validation (verify.cpp's admissibility gate) uses it to separate
+  // truncation from exact consumption.
+  bool overran() const { return overran_; }
+
  private:
   std::uint8_t next_byte() {
-    return pos_ < d_.size() ? d_[pos_++] : 0;  // truncated input reads as 0
+    if (pos_ >= d_.size()) {
+      overran_ = true;
+      return 0;  // truncated input reads as 0
+    }
+    return d_[pos_++];
   }
 
   std::span<const std::uint8_t> d_;
   std::size_t pos_ = 0;
   std::uint32_t code_ = 0;
   std::uint32_t range_ = 0xFFFFFFFFu;
+  bool overran_ = false;
 };
 
 }  // namespace lepton::coding

@@ -10,33 +10,63 @@
 
 namespace lepton::coding {
 
+namespace detail {
+
+// prob_zero is evaluated once per coded bit — the single hottest scalar
+// operation in the codec — so the count→probability division is baked into
+// a compile-time table indexed directly by the packed 16-bit count word
+// (zeros in the low byte, ones in the high byte): one load, one index.
+// Counts are virtual (start at 1/1) and renormalization keeps both >= 1,
+// so zero-count entries are never read; they hold the clamp floor anyway.
+struct ProbZeroTable {
+  std::uint8_t p[65536];
+};
+
+inline constexpr ProbZeroTable make_prob_zero_table() {
+  ProbZeroTable t{};
+  for (unsigned z = 0; z < 256; ++z) {
+    for (unsigned o = 0; o < 256; ++o) {
+      unsigned total = z + o;
+      unsigned v = total == 0 ? 128 : (z << 8) / total;
+      t.p[z | (o << 8)] =
+          static_cast<std::uint8_t>(v < 1 ? 1 : (v > 255 ? 255 : v));
+    }
+  }
+  return t;
+}
+
+inline constexpr ProbZeroTable kProbZero = make_prob_zero_table();
+
+}  // namespace detail
+
+// The two counts live in one uint16_t on purpose: record() then stores a
+// uint16_t, not a uint8_t. A uint8_t (unsigned char) store may alias
+// anything under the strict-aliasing rules, which forced the compiler to
+// reload the inlined range-coder state (low/range/code) from memory after
+// every coded bit; with a uint16_t store that state stays in registers.
 class Branch {
  public:
   // P(bit == 0) scaled to [1, 255]; starts at 128 (50-50).
-  std::uint8_t prob_zero() const {
-    unsigned total = zeros_ + ones_;
-    unsigned p = (static_cast<unsigned>(zeros_) << 8) / total;
-    return static_cast<std::uint8_t>(p < 1 ? 1 : (p > 255 ? 255 : p));
-  }
+  std::uint8_t prob_zero() const { return detail::kProbZero.p[counts_]; }
 
   void record(bool bit) {
-    std::uint8_t& c = bit ? ones_ : zeros_;
-    if (c == 0xFF) {
+    std::uint16_t c = counts_;
+    if ((bit ? (c >> 8) : (c & 0xFF)) == 0xFF) {
       // Renormalize: halve both counts (keeping >= 1) so the bin keeps
       // adapting to recent statistics instead of saturating.
-      zeros_ = static_cast<std::uint8_t>((zeros_ + 1) >> 1);
-      ones_ = static_cast<std::uint8_t>((ones_ + 1) >> 1);
+      std::uint32_t z = ((c & 0xFF) + 1u) >> 1;
+      std::uint32_t o = ((c >> 8) + 1u) >> 1;
+      c = static_cast<std::uint16_t>(z | (o << 8));
     }
-    ++c;
+    counts_ = static_cast<std::uint16_t>(c + (bit ? 0x0100 : 0x0001));
   }
 
   std::uint16_t observations() const {
-    return static_cast<std::uint16_t>(zeros_ + ones_ - 2);
+    return static_cast<std::uint16_t>((counts_ & 0xFF) + (counts_ >> 8) - 2);
   }
 
  private:
-  std::uint8_t zeros_ = 1;  // virtual counts: 1/1 == 50-50 prior
-  std::uint8_t ones_ = 1;
+  std::uint16_t counts_ = 0x0101;  // ones << 8 | zeros; 1/1 == 50-50 prior
 };
 
 static_assert(sizeof(Branch) == 2, "bins are the model's memory footprint");

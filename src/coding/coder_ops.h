@@ -25,6 +25,13 @@ struct EncodeOps {
     b.record(bit);
     return bit;
   }
+
+  // Codes `count` raw bits in one batched call (no model state) and
+  // returns them. The fast path for near-uniform bit runs.
+  std::uint32_t code_literal(std::uint32_t bits, int count) {
+    enc->put_literal(bits, count);
+    return bits;
+  }
 };
 
 struct DecodeOps {
@@ -37,13 +44,22 @@ struct DecodeOps {
     b.record(bit);
     return bit;
   }
+
+  // Ignores the hint and returns `count` decoded raw bits.
+  std::uint32_t code_literal(std::uint32_t /*hint*/, int count) {
+    return dec->get_literal(count);
+  }
 };
 
 // Unary-exponent / sign / residual integer coding (the paper's Exp-Golomb
 // scheme, §A.2): exponent e = bit-length of |v| coded as unary over
 // per-position branches, then a sign bit, then the e-1 bits below the
-// implicit leading 1. `exp_branches` must hold at least `max_bits`
-// branches, `res_branches` at least `max_bits - 1`.
+// implicit leading 1. The top residual bit stays adaptive (it still
+// carries structure); the bits below it are statistically near-uniform,
+// so they go through the batched literal fast path — one range
+// subdivision per bit, no bin lookups, no adaptation. `exp_branches` must
+// hold at least `max_bits` branches, `res_branches` at least
+// `max_bits - 1`.
 template <typename Ops>
 std::int32_t code_value(Ops& ops, Branch* exp_branches, Branch* sign_branch,
                         Branch* res_branches, int max_bits,
@@ -72,9 +88,14 @@ std::int32_t code_value(Ops& ops, Branch* exp_branches, Branch* sign_branch,
   std::uint32_t abs_v = v_if_encoding < 0
                             ? static_cast<std::uint32_t>(-v_if_encoding)
                             : static_cast<std::uint32_t>(v_if_encoding);
-  for (int i = e - 2; i >= 0; --i) {
-    bool bit = ops.code_bit(res_branches[i], (abs_v >> i) & 1u);
+  if (e >= 2) {
+    int top = e - 2;  // highest residual bit: adaptive
+    bool bit = ops.code_bit(res_branches[top], (abs_v >> top) & 1u);
     mag = (mag << 1) | (bit ? 1u : 0u);
+    if (top > 0) {  // remaining low bits: batched raw literals
+      std::uint32_t low = ops.code_literal(abs_v & ((1u << top) - 1u), top);
+      mag = (mag << top) | low;
+    }
   }
   auto result = static_cast<std::int32_t>(mag);
   return negative ? -result : result;

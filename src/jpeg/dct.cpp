@@ -3,35 +3,6 @@
 #include <cmath>
 
 namespace lepton::jpegfmt {
-namespace {
-
-// cos((2x+1) u pi / 16) * sqrt(1/8 or 2/8), Q20. Generated at first use from
-// long double and cached; the values are constants so this is deterministic
-// per process and identical across encode/decode within a build, which is
-// the property the model requires (both sides run this same code).
-struct BasisTable {
-  std::int64_t b[8][8];
-  BasisTable() {
-    const long double pi = 3.14159265358979323846264338327950288L;
-    for (int x = 0; x < 8; ++x) {
-      for (int u = 0; u < 8; ++u) {
-        long double c = u == 0 ? std::sqrt(0.125L) : std::sqrt(0.25L);
-        long double v =
-            c * std::cos((2 * x + 1) * u * pi / 16.0L) * 1048576.0L;
-        b[x][u] = static_cast<std::int64_t>(v >= 0 ? v + 0.5L : v - 0.5L);
-      }
-    }
-  }
-};
-
-const BasisTable& basis() {
-  static const BasisTable t;
-  return t;
-}
-
-}  // namespace
-
-std::int64_t dct_basis_q20(int x, int u) { return basis().b[x][u]; }
 
 void fdct_8x8(const std::uint8_t* pixels, int stride, double out[64]) {
   // Direct O(64*64) transform; only used when authoring corpus files.
@@ -68,27 +39,175 @@ void fdct_8x8(const std::uint8_t* pixels, int stride, double out[64]) {
   }
 }
 
+namespace {
+
+// Loeffler-Ligtenberg-Moshovitz butterfly constants, Q13 (the jidctint
+// lineage): round(2^13 * cos-products). One 1-D pass costs 12 multiplies
+// instead of 64 — the reason the per-block IDCT stopped dominating the
+// encode+decode profile.
+inline constexpr std::int64_t kFix0_298631336 = 2446;
+inline constexpr std::int64_t kFix0_390180644 = 3196;
+inline constexpr std::int64_t kFix0_541196100 = 4433;
+inline constexpr std::int64_t kFix0_765366865 = 6270;
+inline constexpr std::int64_t kFix0_899976223 = 7373;
+inline constexpr std::int64_t kFix1_175875602 = 9633;
+inline constexpr std::int64_t kFix1_501321110 = 12299;
+inline constexpr std::int64_t kFix1_847759065 = 15137;
+inline constexpr std::int64_t kFix1_961570560 = 16069;
+inline constexpr std::int64_t kFix2_053119869 = 16819;
+inline constexpr std::int64_t kFix2_562915447 = 20995;
+inline constexpr std::int64_t kFix3_072711026 = 25172;
+
+// One 8-point 1-D JPEG inverse DCT: out[x] = sqrt(8) * 2^13 * sum_v
+// in[v] * Bo(x, v) (Bo the orthonormal basis), computed with the Loeffler
+// network. `shift` (with rounding) descales the result. Strides let the
+// same code run over rows of the coefficient block and columns of the
+// intermediate.
+inline void idct_1d(const std::int64_t* in, int in_stride, std::int64_t* out,
+                    int out_stride, int shift) {
+  // Even part.
+  std::int64_t z2 = in[2 * in_stride];
+  std::int64_t z3 = in[6 * in_stride];
+  std::int64_t z1 = (z2 + z3) * kFix0_541196100;
+  std::int64_t t2 = z1 - z3 * kFix1_847759065;
+  std::int64_t t3 = z1 + z2 * kFix0_765366865;
+  std::int64_t t0 = (in[0] + in[4 * in_stride]) << 13;
+  std::int64_t t1 = (in[0] - in[4 * in_stride]) << 13;
+  std::int64_t e0 = t0 + t3, e3 = t0 - t3;
+  std::int64_t e1 = t1 + t2, e2 = t1 - t2;
+
+  // Odd part.
+  std::int64_t o0 = in[7 * in_stride];
+  std::int64_t o1 = in[5 * in_stride];
+  std::int64_t o2 = in[3 * in_stride];
+  std::int64_t o3 = in[1 * in_stride];
+  z1 = o0 + o3;
+  z2 = o1 + o2;
+  z3 = o0 + o2;
+  std::int64_t z4 = o1 + o3;
+  std::int64_t z5 = (z3 + z4) * kFix1_175875602;
+  o0 *= kFix0_298631336;
+  o1 *= kFix2_053119869;
+  o2 *= kFix3_072711026;
+  o3 *= kFix1_501321110;
+  z1 *= -kFix0_899976223;
+  z2 *= -kFix2_562915447;
+  z3 = z3 * -kFix1_961570560 + z5;
+  z4 = z4 * -kFix0_390180644 + z5;
+  o0 += z1 + z3;
+  o1 += z2 + z4;
+  o2 += z2 + z3;
+  o3 += z1 + z4;
+
+  const std::int64_t r = shift > 0 ? (1ll << (shift - 1)) : 0;
+  out[0 * out_stride] = (e0 + o3 + r) >> shift;
+  out[7 * out_stride] = (e0 - o3 + r) >> shift;
+  out[1 * out_stride] = (e1 + o2 + r) >> shift;
+  out[6 * out_stride] = (e1 - o2 + r) >> shift;
+  out[2 * out_stride] = (e2 + o1 + r) >> shift;
+  out[5 * out_stride] = (e2 - o1 + r) >> shift;
+  out[3 * out_stride] = (e3 + o0 + r) >> shift;
+  out[4 * out_stride] = (e3 - o0 + r) >> shift;
+}
+
+}  // namespace
+
 void idct_8x8_scaled(const std::int32_t coef[64], std::int32_t out[64]) {
-  const auto& B = basis();
-  // Separable: tmp[u][y] = sum_v coef[u][v] * B(y, v), then
-  // out[x][y] = sum_u B(x, u) * tmp[u][y]. All Q20 → shift back with
-  // rounding. Output scaled by 8.
-  std::int64_t tmp[64];
+  // Two Loeffler 1-D passes. Scale ledger: each pass multiplies by
+  // sqrt(8) * 2^13; pass 1 descales by 2^6, pass 2 by 2^20, so the result
+  // is 8 * (2^26 / 2^26) * pixel — the 8x-scaled samples the DC predictor
+  // expects. All intermediates fit int64 with room to spare (|coef| can
+  // reach 2^26 for 16-bit quant tables).
+  //
+  // The blocks this runs on are sparse (AC-only, early EOB), so pass 1
+  // skips coefficient rows that are entirely zero — linearity makes their
+  // contribution exactly zero. Determinism (§5.2) is preserved: encode and
+  // decode run this same code on the same values.
+  std::uint32_t row_nz = 0;  // bit u set ⇔ coef row u has a nonzero entry
   for (int u = 0; u < 8; ++u) {
-    for (int y = 0; y < 8; ++y) {
-      std::int64_t s = 0;
-      for (int v = 0; v < 8; ++v) {
-        s += static_cast<std::int64_t>(coef[u * 8 + v]) * B.b[y][v];
-      }
-      tmp[u * 8 + y] = s >> 10;  // keep Q10 for the second pass
+    const std::int32_t* r = coef + u * 8;
+    if ((r[0] | r[1] | r[2] | r[3] | r[4] | r[5] | r[6] | r[7]) != 0) {
+      row_nz |= 1u << u;
     }
   }
-  for (int x = 0; x < 8; ++x) {
+  if (row_nz == 0) {
+    for (int i = 0; i < 64; ++i) out[i] = 0;
+    return;
+  }
+  std::int64_t row_in[8];
+  std::int64_t tmp[64];
+  for (int u = 0; u < 8; ++u) {
+    if ((row_nz & (1u << u)) == 0) {
+      for (int y = 0; y < 8; ++y) tmp[u * 8 + y] = 0;
+      continue;
+    }
+    const std::int32_t* r = coef + u * 8;
+    for (int v = 0; v < 8; ++v) row_in[v] = r[v];
+    idct_1d(row_in, 1, tmp + u * 8, 1, 6);
+  }
+  std::int64_t col_out[8];
+  for (int y = 0; y < 8; ++y) {
+    idct_1d(tmp + y, 8, col_out, 1, 20);
+    for (int x = 0; x < 8; ++x) {
+      out[x * 8 + y] = static_cast<std::int32_t>(col_out[x]);
+    }
+  }
+}
+
+void idct_8x8_dequant_ac(const std::int16_t coef[64],
+                         const std::uint16_t q[64], std::int32_t out[64]) {
+  std::uint32_t row_nz = 0;
+  for (int u = 0; u < 8; ++u) {
+    const std::int16_t* r = coef + u * 8;
+    // DC is excluded by definition; rows 1..7 test all eight entries.
+    std::int32_t any = r[1] | r[2] | r[3] | r[4] | r[5] | r[6] | r[7];
+    if (u != 0) any |= r[0];
+    if (any != 0) row_nz |= 1u << u;
+  }
+  if (row_nz == 0) {
+    for (int i = 0; i < 64; ++i) out[i] = 0;
+    return;
+  }
+  std::int64_t row_in[8];
+  std::int64_t tmp[64];
+  for (int u = 0; u < 8; ++u) {
+    if ((row_nz & (1u << u)) == 0) {
+      for (int y = 0; y < 8; ++y) tmp[u * 8 + y] = 0;
+      continue;
+    }
+    const std::int16_t* r = coef + u * 8;
+    const std::uint16_t* qr = q + u * 8;
+    // Rows carrying only their v=0 (column-edge) coefficient are common in
+    // AC-only blocks; for them the butterfly degenerates to a broadcast of
+    // the DC path — bit-identical to running idct_1d on that input.
+    if (u != 0 && (r[1] | r[2] | r[3] | r[4] | r[5] | r[6] | r[7]) == 0) {
+      std::int64_t t =
+          (((static_cast<std::int64_t>(r[0]) * qr[0]) << 13) + (1ll << 5)) >>
+          6;
+      for (int y = 0; y < 8; ++y) tmp[u * 8 + y] = t;
+      continue;
+    }
+    for (int v = 0; v < 8; ++v) {
+      row_in[v] = static_cast<std::int64_t>(r[v]) * qr[v];
+    }
+    if (u == 0) row_in[0] = 0;  // AC-only: DC excluded
+    idct_1d(row_in, 1, tmp + u * 8, 1, 6);
+  }
+  // Blocks whose only energy is coefficient row 0 (the 1x7 row edge) make
+  // every second-pass column a DC-only butterfly: broadcast it.
+  if (row_nz == 1u) {
     for (int y = 0; y < 8; ++y) {
-      std::int64_t s = 0;
-      for (int u = 0; u < 8; ++u) s += tmp[u * 8 + y] * B.b[x][u];
-      // Q30 now; produce 8x-scaled samples: value*8 = s / 2^30 * 8.
-      out[x * 8 + y] = static_cast<std::int32_t>((s + (1ll << 26)) >> 27);
+      std::int32_t v =
+          static_cast<std::int32_t>(((tmp[y] << 13) + (1ll << 19)) >> 20);
+      for (int x = 0; x < 8; ++x) out[x * 8 + y] = v;
+    }
+    return;
+  }
+  std::int64_t col_out[8];
+  for (int y = 0; y < 8; ++y) {
+    idct_1d(tmp + y, 8, col_out, 1, 20);
+    for (int x = 0; x < 8; ++x) {
+      out[x * 8 + y] = static_cast<std::int32_t>(col_out[x]);
     }
   }
 }

@@ -7,13 +7,37 @@
 //  * a fixed-point integer inverse DCT used by the Lepton model's DC
 //    prediction (§3.3/§A.2.3). The model runs the same IDCT on the encode
 //    and decode side, so it must be bit-deterministic; it is pure int32/64
-//    arithmetic with a constant table, no floating point.
+//    arithmetic with a constant table, no floating point. The IDCT sits on
+//    the per-block hot path of both encode and decode (ac_only_pixels runs
+//    it once per block), so the basis lives in a compile-time table — no
+//    init-guard check per access — and idct_8x8_scaled skips all-zero
+//    coefficient rows, which dominate AC-only blocks.
 #pragma once
 
 #include <array>
 #include <cstdint>
 
 namespace lepton::jpegfmt {
+
+// Orthonormal DCT basis B(x, u) = c(u) * cos((2x+1) u pi / 16) in Q20 fixed
+// point, c(0) = sqrt(1/8), c(u>0) = sqrt(2/8). Values are the rounded
+// long-double constants; embedding them (rather than computing at startup)
+// keeps the table deterministic across builds *and* free of the per-access
+// guard a function-local static carries.
+inline constexpr std::int64_t kDctBasisQ20[8][8] = {
+    {370728, 514214, 484379, 435930, 370728, 291279, 200636, 102284},
+    {370728, 435930, 200636, -102284, -370728, -514214, -484379, -291279},
+    {370728, 291279, -200636, -514214, -370728, 102284, 484379, 435930},
+    {370728, 102284, -484379, -291279, 370728, 435930, -200636, -514214},
+    {370728, -102284, -484379, 291279, 370728, -435930, -200636, 514214},
+    {370728, -291279, -200636, 514214, -370728, -102284, 484379, -435930},
+    {370728, -435930, 200636, 102284, -370728, 514214, -484379, 291279},
+    {370728, -514214, 484379, -435930, 370728, -291279, 200636, -102284},
+};
+
+// Basis entry accessor kept for the Lakhani edge predictor (§A.2.2), which
+// needs individual basis values.
+inline std::int64_t dct_basis_q20(int x, int u) { return kDctBasisQ20[x][u]; }
 
 // Forward DCT of an 8x8 block of samples (level-shifted by -128 internally)
 // producing unquantized coefficients in natural order.
@@ -25,8 +49,12 @@ void fdct_8x8(const std::uint8_t* pixels, int stride, double out[64]);
 // exact: a DC of d contributes exactly d to every scaled output sample.
 void idct_8x8_scaled(const std::int32_t coef[64], std::int32_t out[64]);
 
-// Orthonormal DCT basis entry B(x, u) in Q20 fixed point: used by the
-// Lakhani edge predictor (§A.2.2), which needs individual basis values.
-std::int64_t dct_basis_q20(int x, int u);
+// Fused AC-only variant of the same transform: dequantizes `coef * q` on
+// the fly with the DC term forced to zero, skipping the staging buffer a
+// separate dequantize pass would need. Runs once per block on both codec
+// sides (model::ac_only_pixels); identical arithmetic to calling
+// idct_8x8_scaled on the dequantized block with coef[0] = 0.
+void idct_8x8_dequant_ac(const std::int16_t coef[64],
+                         const std::uint16_t q[64], std::int32_t out[64]);
 
 }  // namespace lepton::jpegfmt

@@ -34,8 +34,35 @@ class HuffmanTable {
   }
 
   // -- Decode view ---------------------------------------------------------
+
+  // Fast path: decodes one symbol from the next 16 bits of the stream
+  // (MSB-first, as returned by StuffedBitReader::peek(16)). Returns
+  // (length << 8) | symbol, or 0 if no code matches. Codes of length <= 8
+  // resolve with a single 256-entry table lookup; longer codes fall back to
+  // the canonical min/max compare. Exactly equivalent to decode() when at
+  // least 16 bits are available.
+  std::uint32_t decode16(std::uint32_t bits16) const {
+    std::uint32_t hit = lut8_[bits16 >> 8];
+    if (hit != 0) return hit;
+    for (int len = 9; len <= 16; ++len) {
+      std::uint32_t code = bits16 >> (16 - len);
+      if (max_code_[len] >= 0 &&
+          static_cast<std::int32_t>(code) <= max_code_[len] &&
+          static_cast<std::int32_t>(code) >= min_code_[len]) {
+        std::size_t idx =
+            val_ptr_[len] + (code - static_cast<std::uint32_t>(min_code_[len]));
+        if (idx < symbols_.size()) {
+          return (static_cast<std::uint32_t>(len) << 8) | symbols_[idx];
+        }
+        return 0;
+      }
+    }
+    return 0;
+  }
+
   // Decodes one symbol by pulling bits from `next_bit` (a callable returning
-  // 0/1). Returns -1 if the bit pattern matches no code.
+  // 0/1). Returns -1 if the bit pattern matches no code. Slow path for
+  // stream tails with fewer than 16 bits left.
   template <typename NextBit>
   int decode(NextBit&& next_bit) const {
     // First level: try the 8-bit LUT using peeked bits one at a time.
@@ -73,6 +100,9 @@ class HuffmanTable {
   // Encode tables.
   std::array<std::uint16_t, 256> enc_code_{};
   std::array<std::uint8_t, 256> enc_len_{};
+  // First-level decode LUT keyed by the next 8 stream bits: (len << 8) |
+  // symbol for codes of length <= 8, 0 = longer code or no match.
+  std::array<std::uint16_t, 256> lut8_{};
 };
 
 // Builds an optimal (length-limited, canonical) Huffman table for the given

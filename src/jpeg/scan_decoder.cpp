@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "jpeg/stuffed_bitio.h"
+
 namespace lepton::jpegfmt {
 namespace {
 
@@ -11,108 +13,25 @@ using util::ExitCode;
   throw ParseError(c, msg);
 }
 
-// Bit reader over the entropy-coded segment that understands 0xFF00 byte
-// stuffing and stops (without consuming) at markers. It can report, at any
-// bit position, the *file-byte* offset containing the next unconsumed bit —
-// the coordinate a Huffman handover word records. Copyable so RST detection
-// can speculate and roll back.
-class StuffedBitReader {
- public:
-  explicit StuffedBitReader(std::span<const std::uint8_t> scan) : d_(scan) {}
-
-  // Returns 0/1, or -1 at end of entropy data (marker or end of span).
-  int get_bit() {
-    if (wbits_ == 0 && !refill()) return -1;
-    --wbits_;
-    ++consumed_;
-    return static_cast<int>((window_ >> wbits_) & 1u);
+// Decodes one Huffman symbol. The common case resolves through the 16-bit
+// peek + table lookup (one refill check, no per-bit loop); only the last
+// few symbols of the stream — when fewer than 16 bits remain buffered —
+// take the canonical per-bit path. Returns -1 on no match / truncation.
+int decode_symbol(StuffedBitReader& rd, const HuffmanTable& t) {
+  if (rd.ensure(16)) {
+    std::uint32_t hit = t.decode16(rd.peek(16));
+    if (hit == 0) return -1;
+    rd.consume(static_cast<int>(hit >> 8));
+    return static_cast<int>(hit & 0xFF);
   }
-
-  // Returns the value of `n` bits MSB-first, or -1 on truncation.
-  std::int32_t get_bits(int n) {
-    std::int32_t v = 0;
-    for (int i = 0; i < n; ++i) {
-      int b = get_bit();
-      if (b < 0) return -1;
-      v = (v << 1) | b;
-    }
-    return v;
-  }
-
-  // Position of the next unconsumed bit, in scan-relative byte space.
-  ScanPos pos() const {
-    std::uint64_t byte_idx = consumed_ / 8;
-    int bit_off = static_cast<int>(consumed_ % 8);
-    if (byte_idx >= n_loaded_) {
-      // Next byte not yet loaded; it will be read from pos_.
-      return {pos_, 0};
-    }
-    return {offsets_[byte_idx & 15], bit_off};
-  }
-
-  // High `bit_off` bits of the byte at pos() that were already consumed
-  // (the "partial byte" of the handover word). Low bits are zeroed.
-  std::uint8_t partial_byte() const {
-    ScanPos p = pos();
-    if (p.bit_off == 0) return 0;
-    std::uint8_t b = d_[p.byte_off];
-    return static_cast<std::uint8_t>(b & ~((1u << (8 - p.bit_off)) - 1u));
-  }
-
-  bool byte_aligned() const { return consumed_ % 8 == 0; }
-  int bits_into_byte() const { return static_cast<int>(consumed_ % 8); }
-
-  // After all entropy data is consumed, true iff every scan byte was used.
-  bool fully_consumed() const { return wbits_ == 0 && pos_ >= d_.size(); }
-
-  // If the next bytes are an RST marker with the expected index, consume it
-  // and return true. Requires an empty bit window (callers consume padding
-  // first), so consumed_ == 8 * n_loaded_ and pos() already reports the
-  // next-load offset — advancing pos_ past the marker keeps it exact.
-  bool consume_rst_marker(int expected_index) {
-    if (wbits_ != 0) return false;
-    if (pos_ + 1 >= d_.size()) return false;
-    if (d_[pos_] != 0xFF) return false;
-    std::uint8_t m = d_[pos_ + 1];
-    if (m != 0xD0 + expected_index) return false;
-    pos_ += 2;
-    return true;
-  }
-
- private:
-  bool refill() {
-    while (wbits_ <= 56) {
-      if (pos_ >= d_.size()) break;
-      std::uint8_t b = d_[pos_];
-      if (b == 0xFF) {
-        if (pos_ + 1 >= d_.size()) break;  // lone 0xFF at end: stop
-        if (d_[pos_ + 1] != 0x00) break;   // marker: stop before it
-        record_loaded(pos_);
-        pos_ += 2;  // skip the stuffed 0x00 together with its 0xFF
-        push(0xFF);
-      } else {
-        record_loaded(pos_);
-        pos_ += 1;
-        push(b);
-      }
-    }
-    return wbits_ > 0;
-  }
-
-  void push(std::uint8_t b) {
-    window_ = (window_ << 8) | b;
-    wbits_ += 8;
-  }
-  void record_loaded(std::uint64_t off) { offsets_[n_loaded_++ & 15] = off; }
-
-  std::span<const std::uint8_t> d_;
-  std::uint64_t pos_ = 0;       // next byte to load
-  std::uint64_t window_ = 0;    // right-justified unconsumed bits
-  int wbits_ = 0;
-  std::uint64_t consumed_ = 0;  // total data bits consumed
-  std::uint64_t n_loaded_ = 0;  // total data bytes loaded
-  std::uint64_t offsets_[16] = {};  // ring: file offset of each loaded byte
-};
+  bool truncated = false;
+  int sym = t.decode([&rd, &truncated]() -> std::uint32_t {
+    int b = rd.get_bit();
+    if (b < 0) truncated = true;
+    return truncated ? 0u : static_cast<std::uint32_t>(b);
+  });
+  return truncated ? -1 : sym;
+}
 
 int extend_sign(std::int32_t v, int size) {
   // T.81 F.2.2.1 EXTEND: values with the high bit clear are negative.
@@ -165,12 +84,6 @@ ScanDecodeResult decode_scan(const JpegFile& jf) {
       }
     }
   }
-
-  auto next_bit = [&rd]() -> std::uint32_t {
-    int b = rd.get_bit();
-    if (b < 0) fail(ExitCode::kUnsupportedJpeg, "truncated scan");
-    return static_cast<std::uint32_t>(b);
-  };
 
   auto capture_handover = [&]() {
     HuffmanHandover h;
@@ -226,7 +139,7 @@ ScanDecodeResult decode_scan(const JpegFile& jf) {
         // ---- DC ----
         const auto& dct = jf.dc_tables[comp.dc_tbl];
         const auto& act = jf.ac_tables[comp.ac_tbl];
-        int s = dct.decode(next_bit);
+        int s = decode_symbol(rd, dct);
         if (s < 0) fail(ExitCode::kUnsupportedJpeg, "bad DC code");
         if (s > 11) fail(ExitCode::kAcOutOfRange, "DC size > 11");
         out.stats.bits_dc += dct.code_length(static_cast<std::uint8_t>(s));
@@ -247,7 +160,7 @@ ScanDecodeResult decode_scan(const JpegFile& jf) {
         // ---- AC ----
         int k = 1;
         while (k < 64) {
-          int rs = act.decode(next_bit);
+          int rs = decode_symbol(rd, act);
           if (rs < 0) fail(ExitCode::kUnsupportedJpeg, "bad AC code");
           int run = rs >> 4;
           int size = rs & 15;

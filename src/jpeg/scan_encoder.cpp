@@ -1,177 +1,19 @@
 #include "jpeg/scan_encoder.h"
 
-#include <bit>
-
 namespace lepton::jpegfmt {
-namespace {
-
-using util::ExitCode;
-
-// Bit writer with JPEG 0xFF00 stuffing. Emits only completed bytes; can be
-// seeded with a handover partial byte and reports its final partial state.
-class StuffedBitWriter {
- public:
-  StuffedBitWriter(std::uint8_t partial, int bit_off)
-      : acc_(bit_off == 0 ? 0 : (partial >> (8 - bit_off))), nbits_(bit_off) {}
-
-  void put_bits(std::uint32_t bits, int n) {
-    acc_ = (acc_ << n) | (bits & ((1ull << n) - 1));
-    nbits_ += n;
-    while (nbits_ >= 8) {
-      nbits_ -= 8;
-      emit_byte(static_cast<std::uint8_t>(acc_ >> nbits_));
-    }
-    acc_ &= (1ull << nbits_) - 1;
-  }
-
-  void pad_to_byte(std::uint32_t pad_bit) {
-    if (nbits_ == 0) return;
-    std::uint32_t pad = pad_bit ? (1u << (8 - nbits_)) - 1u : 0u;
-    put_bits(pad, 8 - nbits_);
-  }
-
-  // Markers are written outside the entropy bit stream (must be aligned).
-  void put_marker(std::uint8_t m) {
-    out_.push_back(0xFF);
-    out_.push_back(m);
-  }
-
-  int bit_offset() const { return nbits_; }
-  std::uint8_t partial_byte() const {
-    return nbits_ == 0
-               ? 0
-               : static_cast<std::uint8_t>((acc_ << (8 - nbits_)) & 0xFF);
-  }
-
-  std::vector<std::uint8_t> take() { return std::move(out_); }
-  std::size_t bytes_emitted() const { return out_.size(); }
-
- private:
-  void emit_byte(std::uint8_t b) {
-    out_.push_back(b);
-    if (b == 0xFF) out_.push_back(0x00);
-  }
-
-  std::vector<std::uint8_t> out_;
-  std::uint64_t acc_;
-  int nbits_;
-};
-
-int magnitude_bits(int v) {
-  unsigned a = static_cast<unsigned>(v < 0 ? -v : v);
-  return 32 - std::countl_zero(a | 1) - (a == 0 ? 1 : 0);
-}
-
-void put_coded(StuffedBitWriter& w, const HuffmanTable& t, int symbol) {
-  int len = t.code_length(static_cast<std::uint8_t>(symbol));
-  if (len == 0) {
-    // The file's own tables produced these symbols during decode, so this
-    // can only mean internal state corruption (§6.2 "Impossible" row).
-    throw ParseError(ExitCode::kImpossible, "symbol without Huffman code");
-  }
-  w.put_bits(t.code(static_cast<std::uint8_t>(symbol)), len);
-}
-
-void encode_block(StuffedBitWriter& w, const std::int16_t* blk,
-                  const HuffmanTable& dct, const HuffmanTable& act,
-                  std::int16_t& dc_pred) {
-  int diff = blk[0] - dc_pred;
-  dc_pred = blk[0];
-  int s = diff == 0 ? 0 : magnitude_bits(diff);
-  put_coded(w, dct, s);
-  if (s > 0) {
-    int v = diff < 0 ? diff + (1 << s) - 1 : diff;
-    w.put_bits(static_cast<std::uint32_t>(v), s);
-  }
-
-  int run = 0;
-  for (int k = 1; k < 64; ++k) {
-    int c = blk[kZigzag[k]];
-    if (c == 0) {
-      ++run;
-      continue;
-    }
-    while (run > 15) {
-      put_coded(w, act, 0xF0);  // ZRL
-      run -= 16;
-    }
-    int size = magnitude_bits(c);
-    put_coded(w, act, (run << 4) | size);
-    int v = c < 0 ? c + (1 << size) - 1 : c;
-    w.put_bits(static_cast<std::uint32_t>(v), size);
-    run = 0;
-  }
-  if (run > 0) put_coded(w, act, 0x00);  // EOB
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> encode_scan_rows(const JpegFile& jf,
                                            const CoeffImage& coeffs,
                                            const ScanEncodeParams& params,
                                            HuffmanHandover* handover_out) {
-  return encode_scan_rows_fn(
+  std::vector<std::uint8_t> out;
+  encode_scan_rows_with(
       jf,
       [&coeffs](int comp, int bx, int by) {
         return coeffs.comps[comp].block(bx, by);
       },
-      params, handover_out);
-}
-
-std::vector<std::uint8_t> encode_scan_rows_fn(const JpegFile& jf,
-                                              const BlockSourceFn& source,
-                                              const ScanEncodeParams& params,
-                                              HuffmanHandover* handover_out) {
-  const FrameInfo& fr = jf.frame;
-  const HuffmanHandover& h = params.handover;
-  StuffedBitWriter w(h.partial_byte, h.pos.bit_off);
-  std::array<std::int16_t, 4> dc_pred = h.dc_pred;
-  std::uint32_t mcus_done = h.mcus_done;
-  std::uint32_t rst_emitted = h.rst_seen;
-  const int dri = jf.restart_interval;
-
-  struct Slot {
-    int comp, bx, by;
-  };
-  std::vector<Slot> layout;
-  for (int ci = 0; ci < fr.ncomp(); ++ci) {
-    const auto& comp = fr.comps[ci];
-    for (int by = 0; by < comp.v_samp; ++by) {
-      for (int bx = 0; bx < comp.h_samp; ++bx) layout.push_back({ci, bx, by});
-    }
-  }
-
-  for (int my = params.start_mcu_row; my < params.end_mcu_row; ++my) {
-    for (int mx = 0; mx < fr.mcus_x; ++mx) {
-      if (dri > 0 && mcus_done > 0 && mcus_done % dri == 0 &&
-          rst_emitted < params.rst_count_limit) {
-        w.pad_to_byte(params.pad_bit);
-        w.put_marker(static_cast<std::uint8_t>(0xD0 + (rst_emitted % 8)));
-        ++rst_emitted;
-        dc_pred.fill(0);
-      }
-      for (const auto& sl : layout) {
-        const auto& comp = fr.comps[sl.comp];
-        int bx = (fr.ncomp() == 1) ? mx : mx * comp.h_samp + sl.bx;
-        int by = (fr.ncomp() == 1) ? my : my * comp.v_samp + sl.by;
-        encode_block(w, source(sl.comp, bx, by), jf.dc_tables[comp.dc_tbl],
-                     jf.ac_tables[comp.ac_tbl], dc_pred[sl.comp]);
-      }
-      ++mcus_done;
-    }
-  }
-
-  if (params.final_segment) w.pad_to_byte(params.pad_bit);
-
-  if (handover_out != nullptr) {
-    handover_out->pos.byte_off = h.pos.byte_off + w.bytes_emitted();
-    handover_out->pos.bit_off = w.bit_offset();
-    handover_out->partial_byte = w.partial_byte();
-    handover_out->dc_pred = dc_pred;
-    handover_out->mcus_done = mcus_done;
-    handover_out->rst_seen = rst_emitted;
-  }
-  return w.take();
+      params, handover_out, &out);
+  return out;
 }
 
 std::vector<std::uint8_t> encode_scan(const JpegFile& jf,

@@ -8,14 +8,20 @@
 // decoder half of the paper's "Huffman handover word" design (§3.4): it is
 // what lets Lepton's decode be multithreaded and chunk-distributed even
 // though the user's original JPEG was written serially.
+//
+// The core is a template over the block source so the streaming decoder's
+// per-block ring lookup inlines into the MCU loop (it runs once per block
+// of every decode; an std::function indirection there is measurable).
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "jpeg/jpeg_types.h"
 #include "jpeg/parser.h"
+#include "jpeg/stuffed_bitio.h"
 
 namespace lepton::jpegfmt {
 
@@ -28,23 +34,136 @@ struct ScanEncodeParams {
   bool final_segment = false;         // emit trailing padding when done
 };
 
+namespace detail {
+
+inline int magnitude_bits(int v) {
+  unsigned a = static_cast<unsigned>(v < 0 ? -v : v);
+  return 32 - std::countl_zero(a | 1) - (a == 0 ? 1 : 0);
+}
+
+inline void put_coded(StuffedBitWriter& w, const HuffmanTable& t, int symbol) {
+  int len = t.code_length(static_cast<std::uint8_t>(symbol));
+  if (len == 0) {
+    // The file's own tables produced these symbols during decode, so this
+    // can only mean internal state corruption (§6.2 "Impossible" row).
+    throw ParseError(util::ExitCode::kImpossible, "symbol without Huffman code");
+  }
+  w.put_bits(t.code(static_cast<std::uint8_t>(symbol)), len);
+}
+
+inline void encode_block(StuffedBitWriter& w, const std::int16_t* blk,
+                         const HuffmanTable& dct, const HuffmanTable& act,
+                         std::int16_t& dc_pred) {
+  int diff = blk[0] - dc_pred;
+  dc_pred = blk[0];
+  int s = diff == 0 ? 0 : magnitude_bits(diff);
+  put_coded(w, dct, s);
+  if (s > 0) {
+    int v = diff < 0 ? diff + (1 << s) - 1 : diff;
+    w.put_bits(static_cast<std::uint32_t>(v), s);
+  }
+
+  int run = 0;
+  for (int k = 1; k < 64; ++k) {
+    int c = blk[kZigzag[k]];
+    if (c == 0) {
+      ++run;
+      continue;
+    }
+    while (run > 15) {
+      put_coded(w, act, 0xF0);  // ZRL
+      run -= 16;
+    }
+    int size = magnitude_bits(c);
+    put_coded(w, act, (run << 4) | size);
+    int v = c < 0 ? c + (1 << size) - 1 : c;
+    w.put_bits(static_cast<std::uint32_t>(v), size);
+    run = 0;
+  }
+  if (run > 0) put_coded(w, act, 0x00);  // EOB
+}
+
+}  // namespace detail
+
+// Re-encodes MCU rows [start, end) under the tables in `jf`, emitting
+// complete bytes into `*out` (cleared up front, capacity retained).
+// Trailing partial-byte state is returned via `handover_out` so the next
+// segment can resume; `handover_out->pos.byte_off` advances by the number
+// of scan bytes this segment is responsible for. `source(comp, bx, by)`
+// must return the block's 64 coefficients in natural order.
+template <typename Source>
+void encode_scan_rows_with(const JpegFile& jf, Source&& source,
+                           const ScanEncodeParams& params,
+                           HuffmanHandover* handover_out,
+                           std::vector<std::uint8_t>* out) {
+  const FrameInfo& fr = jf.frame;
+  const HuffmanHandover& h = params.handover;
+  StuffedBitWriter w(out, h.partial_byte, h.pos.bit_off);
+  std::array<std::int16_t, 4> dc_pred = h.dc_pred;
+  std::uint32_t mcus_done = h.mcus_done;
+  std::uint32_t rst_emitted = h.rst_seen;
+  const int dri = jf.restart_interval;
+
+  // Per-MCU block layout in a fixed-capacity array: the streaming decoder
+  // calls this once per MCU row, so a heap-allocated layout would be an
+  // allocation per row. Capacity bound: the parser admits <= 3 components
+  // at <= 2x2 sampling.
+  struct Slot {
+    int comp, bx, by;
+  };
+  std::array<Slot, 64> layout;
+  int nslots = 0;
+  for (int ci = 0; ci < fr.ncomp(); ++ci) {
+    const auto& comp = fr.comps[ci];
+    for (int by = 0; by < comp.v_samp; ++by) {
+      for (int bx = 0; bx < comp.h_samp; ++bx) {
+        layout[static_cast<std::size_t>(nslots++)] = {ci, bx, by};
+      }
+    }
+  }
+
+  for (int my = params.start_mcu_row; my < params.end_mcu_row; ++my) {
+    for (int mx = 0; mx < fr.mcus_x; ++mx) {
+      if (dri > 0 && mcus_done > 0 && mcus_done % dri == 0 &&
+          rst_emitted < params.rst_count_limit) {
+        w.pad_to_byte(params.pad_bit);
+        w.put_marker(static_cast<std::uint8_t>(0xD0 + (rst_emitted % 8)));
+        ++rst_emitted;
+        dc_pred.fill(0);
+      }
+      for (int s = 0; s < nslots; ++s) {
+        const Slot& sl = layout[static_cast<std::size_t>(s)];
+        const auto& comp = fr.comps[sl.comp];
+        int bx = (fr.ncomp() == 1) ? mx : mx * comp.h_samp + sl.bx;
+        int by = (fr.ncomp() == 1) ? my : my * comp.v_samp + sl.by;
+        detail::encode_block(w, source(sl.comp, bx, by),
+                             jf.dc_tables[comp.dc_tbl],
+                             jf.ac_tables[comp.ac_tbl], dc_pred[sl.comp]);
+      }
+      ++mcus_done;
+    }
+  }
+
+  if (params.final_segment) w.pad_to_byte(params.pad_bit);
+  w.finish();  // trim *out to the emitted length
+
+  if (handover_out != nullptr) {
+    handover_out->pos.byte_off = h.pos.byte_off + w.bytes_emitted();
+    handover_out->pos.bit_off = w.bit_offset();
+    handover_out->partial_byte = w.partial_byte();
+    handover_out->dc_pred = dc_pred;
+    handover_out->mcus_done = mcus_done;
+    handover_out->rst_seen = rst_emitted;
+  }
+}
+
 // Re-encodes MCU rows [start, end) of `coeffs` under the tables in `jf`.
 // Returns only *complete* bytes; trailing partial-byte state is returned via
-// `handover_out` so the next segment can resume. `handover_out.pos.byte_off`
-// advances by the number of scan bytes this segment is responsible for.
+// `handover_out` so the next segment can resume.
 std::vector<std::uint8_t> encode_scan_rows(const JpegFile& jf,
                                            const CoeffImage& coeffs,
                                            const ScanEncodeParams& params,
                                            HuffmanHandover* handover_out);
-
-// Block-source variant for streaming decoders that hold only a ring of
-// rows instead of a whole CoeffImage (the Lepton decode path, §1 "Memory").
-using BlockSourceFn =
-    std::function<const std::int16_t*(int comp, int bx, int by)>;
-std::vector<std::uint8_t> encode_scan_rows_fn(const JpegFile& jf,
-                                              const BlockSourceFn& source,
-                                              const ScanEncodeParams& params,
-                                              HuffmanHandover* handover_out);
 
 // Convenience: re-encode the entire scan in one call (single-threaded
 // verification path).

@@ -1,9 +1,14 @@
 #include "lepton/chunk.h"
 
 #include "jpeg/scan_decoder.h"
+#include "lepton/context.h"
 #include "lepton/plan.h"
 
 namespace lepton {
+
+CodecContext& ChunkCodec::context() const {
+  return ctx_ != nullptr ? *ctx_ : default_context();
+}
 
 ChunkSetResult ChunkCodec::encode_chunks(
     std::span<const std::uint8_t> jpeg) const {
@@ -17,7 +22,7 @@ ChunkSetResult ChunkCodec::encode_chunks(
       auto plan =
           core::plan_byte_range(jf, dec, off, end, opts_, /*is_chunk=*/true);
       out.chunks.push_back(
-          core::encode_container(jf, dec, plan, opts_, nullptr));
+          core::encode_container(jf, dec, plan, opts_, nullptr, context()));
     }
   } catch (const jpegfmt::ParseError& e) {
     out.code = e.code();
@@ -35,7 +40,7 @@ Result ChunkCodec::decode_chunk(std::span<const std::uint8_t> chunk,
                                 const DecodeOptions& opts) const {
   Result r;
   VectorSink sink;
-  r.code = decode_lepton(chunk, sink, opts);
+  r.code = decode_lepton(chunk, sink, opts, context(), nullptr);
   r.data = std::move(sink.data);
   return r;
 }

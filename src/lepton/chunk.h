@@ -38,9 +38,13 @@ struct ChunkInfo {
 
 class ChunkCodec {
  public:
+  // `ctx` (optional) pins the codec to a dedicated CodecContext; by default
+  // chunks run on the process-wide context, sharing its pre-spawned pool
+  // and scratch with the whole-file paths.
   explicit ChunkCodec(EncodeOptions opts = {},
-                      std::size_t chunk_size = kDefaultChunkSize)
-      : opts_(opts), chunk_size_(chunk_size) {}
+                      std::size_t chunk_size = kDefaultChunkSize,
+                      CodecContext* ctx = nullptr)
+      : opts_(opts), chunk_size_(chunk_size), ctx_(ctx) {}
 
   // Splits the JPEG into fixed-size byte ranges and compresses each into an
   // independent container. Classified failure leaves `chunks` empty.
@@ -58,8 +62,11 @@ class ChunkCodec {
   std::size_t chunk_size() const { return chunk_size_; }
 
  private:
+  CodecContext& context() const;
+
   EncodeOptions opts_;
   std::size_t chunk_size_;
+  CodecContext* ctx_;
 };
 
 }  // namespace lepton

@@ -6,6 +6,7 @@
 #include "jpeg/parser.h"
 #include "jpeg/scan_decoder.h"
 #include "jpeg/scan_encoder.h"
+#include "lepton/context.h"
 #include "lepton/plan.h"
 #include "model/block_codec.h"
 #include "util/thread_pool.h"
@@ -16,14 +17,15 @@ namespace {
 
 using util::ExitCode;
 
-// Heap model allocation routed through the tracker (Figure 3 accounting).
-using ModelVec = util::tracked_vector<model::ProbabilityModel>;
-
 // In-order streaming assembler for parallel segment output (§3.4: separate
 // threads each write their own segment, which is concatenated and sent).
+// Completion is tracked with one flag per segment — any segment count the
+// format layer admits (kMaxSegments) works; the flags are only touched
+// under the mutex.
 class OrderedEmitter {
  public:
-  OrderedEmitter(ByteSink& sink, std::size_t n) : sink_(sink), pending_(n) {}
+  OrderedEmitter(ByteSink& sink, std::size_t n)
+      : sink_(sink), pending_(n), completed_(n, 0) {}
 
   void submit(std::size_t seg, std::span<const std::uint8_t> bytes) {
     std::lock_guard<std::mutex> lk(mu_);
@@ -36,9 +38,8 @@ class OrderedEmitter {
 
   void complete(std::size_t seg) {
     std::lock_guard<std::mutex> lk(mu_);
-    done_.insert(done_.end(), 0);  // no-op to keep vector in scope semantics
-    completed_ |= (1ull << seg);
-    while (live_ < pending_.size() && (completed_ >> live_) & 1ull) {
+    completed_[seg] = 1;
+    while (live_ < pending_.size() && completed_[live_] != 0) {
       ++live_;
       if (live_ < pending_.size() && !pending_[live_].empty()) {
         sink_.append({pending_[live_].data(), pending_[live_].size()});
@@ -51,9 +52,8 @@ class OrderedEmitter {
   ByteSink& sink_;
   std::mutex mu_;
   std::size_t live_ = 0;
-  std::uint64_t completed_ = 0;
   std::vector<std::vector<std::uint8_t>> pending_;
-  std::vector<int> done_;
+  std::vector<std::uint8_t> completed_;  // one flag per segment
 };
 
 // Decode working-set estimate for the §6.2 ">24 MiB mem decode" gate: the
@@ -89,7 +89,8 @@ std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
                                            const jpegfmt::ScanDecodeResult& dec,
                                            const ContainerPlan& plan,
                                            const EncodeOptions& opts,
-                                           model::SectionTally* tally) {
+                                           model::SectionTally* tally,
+                                           CodecContext& ctx) {
   ContainerHeader h;
   h.is_chunk = plan.is_chunk;
   h.file_total_size = plan.file_total_size;
@@ -105,29 +106,46 @@ std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
   h.suffix = plan.suffix;
   h.segments = plan.segments;
 
-  std::vector<std::vector<std::uint8_t>> arith(plan.segments.size());
+  const std::size_t nseg = plan.segments.size();
+  // One scratch lease per segment, held until the container is serialized:
+  // each segment's arithmetic output lives in its scratch buffer and is
+  // passed to the serializer as a view.
+  std::vector<CodecContext::ScratchLease> leases;
+  leases.reserve(nseg);
+  for (std::size_t i = 0; i < nseg; ++i) {
+    leases.push_back(ctx.acquire_scratch());
+  }
+  std::vector<std::span<const std::uint8_t>> arith(nseg);
   std::atomic<bool> failed{false};
   auto encode_segment = [&](int i) {
     try {
       const auto& seg = plan.segments[static_cast<std::size_t>(i)];
-      ModelVec pm(1);
-      coding::BoolEncoder enc;
+      CodecScratch& scratch = *leases[static_cast<std::size_t>(i)];
+      coding::BoolEncoder enc(&scratch.arith_buffer());
       model::SegmentCodec<coding::EncodeOps> codec(coding::EncodeOps{&enc},
-                                                   pm[0], jf, opts.model);
-      if (tally != nullptr && plan.segments.size() == 1) {
+                                                   scratch.fresh_model(), jf,
+                                                   opts.model,
+                                                   &scratch.rings());
+      if (tally != nullptr && nseg == 1) {
         codec.set_tally(tally);
       }
       for (std::uint32_t row = seg.start_row; row < seg.end_row; ++row) {
         codec.code_mcu_row(static_cast<int>(row), &dec.coeffs);
       }
-      arith[static_cast<std::size_t>(i)] = enc.finish();
+      enc.finish_into_buffer();
+      arith[static_cast<std::size_t>(i)] = {scratch.arith_buffer().data(),
+                                            scratch.arith_buffer().size()};
     } catch (...) {
       failed.store(true);
     }
   };
-  util::parallel_for_segments(static_cast<int>(plan.segments.size()),
-                              opts.run_parallel ? opts.max_threads : 1,
-                              encode_segment);
+  if (opts.run_parallel) {
+    ctx.pool().parallel_run(static_cast<int>(nseg), encode_segment);
+  } else {
+    for (std::size_t i = 0; i < nseg; ++i) {
+      encode_segment(static_cast<int>(i));
+    }
+  }
   if (failed.load()) {
     throw jpegfmt::ParseError(ExitCode::kImpossible, "segment encode failed");
   }
@@ -135,7 +153,8 @@ std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
 }
 
 void decode_container(const ParsedContainer& pc, ByteSink& sink,
-                      const DecodeOptions& opts) {
+                      const DecodeOptions& opts, CodecContext& ctx,
+                      DecodeStats* stats) {
   const ContainerHeader& h = pc.header;
   jpegfmt::JpegFile hdr = jpegfmt::parse_jpeg_header(
       {h.jpeg_header.data(), h.jpeg_header.size()});
@@ -146,8 +165,13 @@ void decode_container(const ParsedContainer& pc, ByteSink& sink,
       throw jpegfmt::ParseError(ExitCode::kNotAnImage, "segment row range");
     }
   }
-  if (decode_working_set(hdr, h.segments.empty() ? 1 : h.segments.size()) >
-      (24u << 20) * (h.segments.empty() ? 1 : h.segments.size())) {
+  const std::size_t nseg = h.segments.size();
+  // §6.2 ">24 MiB mem decode" gate. The per-thread budget applies to the
+  // §5.4 maximum of 16 threads at most — a hostile header cannot scale the
+  // allowance (and with it the scratch it makes us allocate) by declaring
+  // thousands of segments.
+  if (decode_working_set(hdr, nseg == 0 ? 1 : nseg) >
+      (24ull << 20) * (nseg < 16 ? (nseg == 0 ? 1 : nseg) : 16)) {
     throw jpegfmt::ParseError(ExitCode::kMemLimitDecode,
                               "decode working set exceeds budget");
   }
@@ -155,45 +179,59 @@ void decode_container(const ParsedContainer& pc, ByteSink& sink,
   // Verbatim prefix (header bytes belonging to this chunk's byte range).
   sink.append({h.jpeg_header.data() + h.prefix_off, h.prefix_len});
 
-  OrderedEmitter emitter(sink, h.segments.size());
+  OrderedEmitter emitter(sink, nseg);
   std::atomic<int> error_code{-1};
+  std::atomic<bool> overran{false};
+  std::atomic<bool> leftover{false};
 
   auto decode_segment = [&](int i) {
     try {
       const auto& seg = h.segments[static_cast<std::size_t>(i)];
-      ModelVec pm(1);
+      // Leased inside the task (unlike encode, which must keep every
+      // segment's output buffer alive until serialization): live scratch
+      // is bounded by pool concurrency, not by the attacker-controlled
+      // segment count.
+      CodecContext::ScratchLease lease = ctx.acquire_scratch();
+      CodecScratch& scratch = *lease;
       coding::BoolDecoder bd(
           {pc.arith[static_cast<std::size_t>(i)].data(),
            pc.arith[static_cast<std::size_t>(i)].size()});
       model::SegmentCodec<coding::DecodeOps> codec(coding::DecodeOps{&bd},
-                                                   pm[0], hdr, h.model);
+                                                   scratch.fresh_model(), hdr,
+                                                   h.model, &scratch.rings());
       if (!seg.prepend.empty()) {
         emitter.submit(static_cast<std::size_t>(i),
                        {seg.prepend.data(), seg.prepend.size()});
       }
       jpegfmt::HuffmanHandover ho = seg.handover;
       std::uint64_t produced = 0;
+      // Direct lambda into the template entry point: the per-block ring
+      // lookup inlines into the re-encode MCU loop (an std::function there
+      // is an indirect call per block of every decode).
       auto source = [&codec](int comp, int bx, int by) {
         return codec.row_block(comp, bx, by);
       };
+      jpegfmt::ScanEncodeParams p;
+      p.pad_bit = h.pad_bit;
+      p.rst_count_limit = h.rst_count;
+      p.final_segment = false;
+      std::vector<std::uint8_t>& row_bytes = scratch.row_buffer();
       for (std::uint32_t row = seg.start_row;
            row < seg.end_row && produced < seg.out_len; ++row) {
         codec.code_mcu_row(static_cast<int>(row), nullptr);
-        jpegfmt::ScanEncodeParams p;
         p.start_mcu_row = static_cast<int>(row);
         p.end_mcu_row = static_cast<int>(row) + 1;
         p.handover = ho;
-        p.pad_bit = h.pad_bit;
-        p.rst_count_limit = h.rst_count;
-        p.final_segment = false;
-        auto bytes = jpegfmt::encode_scan_rows_fn(hdr, source, p, &ho);
-        std::size_t take = bytes.size();
+        jpegfmt::encode_scan_rows_with(hdr, source, p, &ho, &row_bytes);
+        std::size_t take = row_bytes.size();
         if (produced + take > seg.out_len) {
           take = static_cast<std::size_t>(seg.out_len - produced);
         }
-        emitter.submit(static_cast<std::size_t>(i), {bytes.data(), take});
+        emitter.submit(static_cast<std::size_t>(i), {row_bytes.data(), take});
         produced += take;
       }
+      if (bd.overran()) overran.store(true);
+      if (!bd.exhausted()) leftover.store(true);
       if (produced != seg.out_len) {
         throw jpegfmt::ParseError(ExitCode::kNotAnImage,
                                   "segment produced wrong byte count");
@@ -208,8 +246,17 @@ void decode_container(const ParsedContainer& pc, ByteSink& sink,
     }
   };
 
-  util::parallel_for_segments(static_cast<int>(h.segments.size()),
-                              opts.run_parallel ? 8 : 1, decode_segment);
+  if (opts.run_parallel) {
+    ctx.pool().parallel_run(static_cast<int>(nseg), decode_segment);
+  } else {
+    for (std::size_t i = 0; i < nseg; ++i) {
+      decode_segment(static_cast<int>(i));
+    }
+  }
+  if (stats != nullptr) {
+    stats->payload_overrun = overran.load();
+    stats->payload_exhausted = !overran.load() && !leftover.load();
+  }
   if (error_code.load() >= 0) {
     throw jpegfmt::ParseError(static_cast<ExitCode>(error_code.load()),
                               "segment decode failed");
@@ -221,38 +268,55 @@ void decode_container(const ParsedContainer& pc, ByteSink& sink,
 
 Result encode_jpeg(std::span<const std::uint8_t> jpeg,
                    const EncodeOptions& opts) {
-  return encode_jpeg_with_breakdown(jpeg, opts, nullptr);
+  return encode_jpeg(jpeg, opts, default_context());
+}
+
+Result encode_jpeg(std::span<const std::uint8_t> jpeg,
+                   const EncodeOptions& opts, CodecContext& ctx) {
+  Result r;
+  try {
+    auto jf = jpegfmt::parse_jpeg(jpeg);
+    auto dec = jpegfmt::decode_scan(jf);
+    auto plan = core::plan_whole_file(jf, dec, opts);
+    r.data = core::encode_container(jf, dec, plan, opts, nullptr, ctx);
+  } catch (const jpegfmt::ParseError& e) {
+    r.code = e.code();
+    r.message = e.what();
+  } catch (const std::exception& e) {
+    r.code = ExitCode::kImpossible;
+    r.message = e.what();
+  }
+  return r;
 }
 
 Result encode_jpeg_with_breakdown(std::span<const std::uint8_t> jpeg,
                                   const EncodeOptions& opts,
                                   ComponentBreakdown* breakdown) {
+  if (breakdown == nullptr) return encode_jpeg(jpeg, opts);
   Result r;
   try {
     auto jf = jpegfmt::parse_jpeg(jpeg);
     auto dec = jpegfmt::decode_scan(jf);
     EncodeOptions eopts = opts;
-    if (breakdown != nullptr) eopts.one_way = true;
+    eopts.one_way = true;
     auto plan = core::plan_whole_file(jf, dec, eopts);
     model::SectionTally tally;
-    r.data = core::encode_container(jf, dec, plan, eopts,
-                                    breakdown != nullptr ? &tally : nullptr);
-    if (breakdown != nullptr) {
-      breakdown->header_in = jf.scan_begin + (jpeg.size() - jf.trailing_begin) +
-                             (jf.has_eoi ? 2 : 0) + dec.trailing_scan.size();
-      // Compressed header cost ≈ container minus arithmetic payload.
-      std::uint64_t arith_total =
-          tally.bytes_77 + tally.bytes_edge + tally.bytes_dc;
-      breakdown->header_out =
-          r.data.size() > arith_total ? r.data.size() - arith_total : 0;
-      breakdown->dc_in_bits = dec.stats.bits_dc;
-      breakdown->dc_out_bits = tally.bytes_dc * 8;
-      breakdown->ac77_in_bits =
-          dec.stats.bits_ac77 + dec.stats.bits_overhead;  // EOB/ZRL ride along
-      breakdown->ac77_out_bits = tally.bytes_77 * 8;
-      breakdown->edge_in_bits = dec.stats.bits_edge;
-      breakdown->edge_out_bits = tally.bytes_edge * 8;
-    }
+    r.data = core::encode_container(jf, dec, plan, eopts, &tally,
+                                    default_context());
+    breakdown->header_in = jf.scan_begin + (jpeg.size() - jf.trailing_begin) +
+                           (jf.has_eoi ? 2 : 0) + dec.trailing_scan.size();
+    // Compressed header cost ≈ container minus arithmetic payload.
+    std::uint64_t arith_total =
+        tally.bytes_77 + tally.bytes_edge + tally.bytes_dc;
+    breakdown->header_out =
+        r.data.size() > arith_total ? r.data.size() - arith_total : 0;
+    breakdown->dc_in_bits = dec.stats.bits_dc;
+    breakdown->dc_out_bits = tally.bytes_dc * 8;
+    breakdown->ac77_in_bits =
+        dec.stats.bits_ac77 + dec.stats.bits_overhead;  // EOB/ZRL ride along
+    breakdown->ac77_out_bits = tally.bytes_77 * 8;
+    breakdown->edge_in_bits = dec.stats.bits_edge;
+    breakdown->edge_out_bits = tally.bytes_edge * 8;
   } catch (const jpegfmt::ParseError& e) {
     r.code = e.code();
     r.message = e.what();
@@ -265,9 +329,15 @@ Result encode_jpeg_with_breakdown(std::span<const std::uint8_t> jpeg,
 
 util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
                              const DecodeOptions& opts) {
+  return decode_lepton(lep, sink, opts, default_context(), nullptr);
+}
+
+util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
+                             const DecodeOptions& opts, CodecContext& ctx,
+                             DecodeStats* stats) {
   try {
     auto pc = core::parse_container(lep);
-    core::decode_container(pc, sink, opts);
+    core::decode_container(pc, sink, opts, ctx, stats);
     return ExitCode::kSuccess;
   } catch (const jpegfmt::ParseError& e) {
     return e.code();

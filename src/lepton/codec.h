@@ -24,6 +24,8 @@
 
 namespace lepton {
 
+class CodecContext;  // long-lived pool + scratch (context.h)
+
 struct Result {
   util::ExitCode code = util::ExitCode::kSuccess;
   std::vector<std::uint8_t> data;
@@ -49,6 +51,17 @@ struct EncodeOptions {
 
 struct DecodeOptions {
   bool run_parallel = true;
+};
+
+// Stream-consumption facts from a successful decode, for validation layers
+// (verify.cpp's admissibility gate). A well-formed container's arithmetic
+// payload is consumed exactly: no overrun, nothing left over.
+struct DecodeStats {
+  // Some segment's BoolDecoder needed bytes past the end of its payload —
+  // the stream was truncated relative to what the coded data demanded.
+  bool payload_overrun = false;
+  // Every segment consumed its payload to the end (without overrunning).
+  bool payload_exhausted = true;
 };
 
 // Streaming output consumer. append() calls arrive in byte order.
@@ -100,15 +113,23 @@ class TimingSink : public ByteSink {
 int threads_for_size(std::size_t bytes, int max_threads);
 
 // Compresses a baseline JPEG into a single Lepton container. Failures are
-// classified, never thrown.
+// classified, never thrown. The two-argument form runs on the process-wide
+// default CodecContext (context.h); pass an explicit context to use a
+// dedicated pool.
 Result encode_jpeg(std::span<const std::uint8_t> jpeg,
                    const EncodeOptions& opts = {});
+Result encode_jpeg(std::span<const std::uint8_t> jpeg,
+                   const EncodeOptions& opts, CodecContext& ctx);
 
 // Decompresses a Lepton container, streaming the original bytes to `sink`.
 // Returns the §6.2 classification (data in the Result stays empty; the sink
-// owns the bytes).
+// owns the bytes). `stats`, when given, reports payload-consumption facts
+// for validation layers.
 util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
                              const DecodeOptions& opts = {});
+util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
+                             const DecodeOptions& opts, CodecContext& ctx,
+                             DecodeStats* stats = nullptr);
 
 // Convenience: decode into a Result buffer.
 Result decode_lepton(std::span<const std::uint8_t> lep,

@@ -50,6 +50,15 @@ bool looks_like_lepton(std::span<const std::uint8_t> bytes) {
 std::vector<std::uint8_t> serialize_container(
     const ContainerHeader& h,
     const std::vector<std::vector<std::uint8_t>>& arith) {
+  std::vector<std::span<const std::uint8_t>> views;
+  views.reserve(arith.size());
+  for (const auto& a : arith) views.emplace_back(a.data(), a.size());
+  return serialize_container(h, views);
+}
+
+std::vector<std::uint8_t> serialize_container(
+    const ContainerHeader& h,
+    std::span<const std::span<const std::uint8_t>> arith) {
   // ---- zlib header payload ----
   util::Serializer p;
   p.u8(h.is_chunk ? 1 : 0);
@@ -154,7 +163,7 @@ ParsedContainer parse_container(std::span<const std::uint8_t> bytes) {
     fail(ExitCode::kNotAnImage, "prefix range outside header");
   }
   std::uint32_t n_segments = q.u32();
-  if (!q.ok() || n_segments != n_segments_outer || n_segments > 4096) {
+  if (!q.ok() || n_segments != n_segments_outer || n_segments > kMaxSegments) {
     fail(ExitCode::kNotAnImage, "segment count mismatch");
   }
   std::vector<std::uint32_t> arith_len(n_segments);

@@ -29,7 +29,20 @@ namespace lepton::core {
 
 inline constexpr std::uint8_t kMagic0 = 0xCF;
 inline constexpr std::uint8_t kMagic1 = 0x84;
-inline constexpr std::uint8_t kFormatVersion = 1;
+// Version 2: the hot-path overhaul changed the entropy layout (Exp-Golomb
+// low residual bits are raw range-coder literals, and edge-prediction
+// bucket rounding changed), so version-1 containers must be rejected
+// loudly (§6.7's "incompatible old version" rule), not mis-decoded.
+inline constexpr std::uint8_t kFormatVersion = 2;
+
+// Hard ceiling on thread segments per container, shared by the encode
+// planner (clamps the requested count) and the container parser (rejects
+// hostile headers with kNotAnImage). The decode OrderedEmitter tracks
+// completion with one flag per segment, so any count the format admits is
+// safe — this bound exists to keep hostile headers from requesting
+// unbounded per-segment state, not because of a completion-tracking word
+// width.
+inline constexpr std::uint32_t kMaxSegments = 4096;
 
 struct SegmentHeader {
   std::uint32_t start_row = 0;
@@ -58,7 +71,12 @@ struct ContainerHeader {
   std::vector<SegmentHeader> segments;
 };
 
-// Serializes header + per-segment arithmetic streams into a container.
+// Serializes header + per-segment arithmetic streams into a container. The
+// span form is the hot path: segment encoders keep their output in reusable
+// CodecContext scratch buffers and hand views here, no per-call copies.
+std::vector<std::uint8_t> serialize_container(
+    const ContainerHeader& h,
+    std::span<const std::span<const std::uint8_t>> arith);
 std::vector<std::uint8_t> serialize_container(
     const ContainerHeader& h,
     const std::vector<std::vector<std::uint8_t>>& arith);

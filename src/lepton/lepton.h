@@ -25,5 +25,6 @@
 
 #include "lepton/chunk.h"
 #include "lepton/codec.h"
+#include "lepton/context.h"
 #include "lepton/store.h"
 #include "lepton/verify.h"

@@ -84,6 +84,10 @@ ContainerPlan plan_byte_range(const jpegfmt::JpegFile& jf,
         threads = threads_for_size(static_cast<std::size_t>(rel1 - rel0),
                                    opts.max_threads);
       }
+      // The format rejects containers above kMaxSegments; never plan one.
+      if (threads > static_cast<int>(kMaxSegments)) {
+        threads = static_cast<int>(kMaxSegments);
+      }
       std::size_t nseg =
           std::min<std::size_t>(static_cast<std::size_t>(threads), nrows);
       for (std::size_t s = 0; s < nseg; ++s) {

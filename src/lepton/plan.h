@@ -47,15 +47,18 @@ ContainerPlan plan_whole_file(const jpegfmt::JpegFile& jf,
                               const jpegfmt::ScanDecodeResult& dec,
                               const EncodeOptions& opts);
 
-// Encodes one planned container (implemented in codec.cpp).
+// Encodes one planned container on `ctx`'s pool and scratch (implemented
+// in codec.cpp).
 std::vector<std::uint8_t> encode_container(
     const jpegfmt::JpegFile& jf, const jpegfmt::ScanDecodeResult& dec,
     const ContainerPlan& plan, const EncodeOptions& opts,
-    model::SectionTally* tally);
+    model::SectionTally* tally, CodecContext& ctx);
 
 // Decodes one parsed container into `sink` (implemented in codec.cpp).
 // Throws jpegfmt::ParseError with a §6.2 classification on failure.
+// `stats` (optional) reports payload-consumption facts.
 void decode_container(const ParsedContainer& pc, ByteSink& sink,
-                      const DecodeOptions& opts);
+                      const DecodeOptions& opts, CodecContext& ctx,
+                      DecodeStats* stats = nullptr);
 
 }  // namespace lepton::core

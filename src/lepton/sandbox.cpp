@@ -3,6 +3,10 @@
 #if defined(__linux__)
 #include <linux/seccomp.h>
 #include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <cstdlib>
 #endif
 
 namespace lepton::core {
@@ -20,6 +24,14 @@ bool enter_strict_sandbox() {
   return ::prctl(PR_SET_SECCOMP, SECCOMP_MODE_STRICT) == 0;
 #else
   return false;
+#endif
+}
+
+void sandbox_exit(int status) {
+#if defined(__linux__)
+  for (;;) ::syscall(SYS_exit, status);
+#else
+  std::_Exit(status);
 #endif
 }
 

@@ -25,4 +25,10 @@ bool sandbox_supported();
 // kills the process. Returns false if unsupported/denied.
 bool enter_strict_sandbox();
 
+// Terminates the calling thread/process with the raw exit(2) syscall.
+// Strict mode's allowlist contains exit but not exit_group, and libc's
+// _exit()/quick_exit() issue exit_group — calling them inside the sandbox
+// gets the process SIGKILLed instead of exiting with its status.
+[[noreturn]] void sandbox_exit(int status);
+
 }  // namespace lepton::core

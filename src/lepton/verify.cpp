@@ -1,5 +1,7 @@
 #include "lepton/verify.h"
 
+#include "lepton/context.h"
+
 namespace lepton {
 
 void QualificationRunner::run_file(std::span<const std::uint8_t> file,
@@ -13,10 +15,20 @@ void QualificationRunner::run_file(std::span<const std::uint8_t> file,
     return;
   }
 
-  // Decode #1: production configuration (multithreaded).
+  // Decode #1: production configuration (multithreaded), with stream
+  // accounting: a "successful" decode whose arithmetic payload overran is a
+  // truncated/corrupt stream that happened to produce the right byte count,
+  // and must not be admitted (§5.7).
   DecodeOptions par;
   par.run_parallel = true;
-  Result d1 = decode_lepton({enc.data.data(), enc.data.size()}, par);
+  DecodeStats stats;
+  Result d1;
+  {
+    VectorSink sink;
+    d1.code = decode_lepton({enc.data.data(), enc.data.size()}, sink, par,
+                            default_context(), &stats);
+    d1.data = std::move(sink.data);
+  }
 
   // Decode #2: independent schedule (the gcc/asan single-threaded build in
   // production, §5.2/§5.6).
@@ -25,12 +37,16 @@ void QualificationRunner::run_file(std::span<const std::uint8_t> file,
   Result d2 = decode_lepton({enc.data.data(), enc.data.size()}, ser);
   if (mutator_) mutator_(d2.data);
 
-  bool rt1 = d1.ok() && d1.data.size() == file.size() &&
+  bool rt1 = d1.ok() && !stats.payload_overrun &&
+             d1.data.size() == file.size() &&
              std::equal(d1.data.begin(), d1.data.end(), file.begin());
   if (!rt1) {
     ++rep->mismatches;
     ++rep->by_code[static_cast<std::size_t>(util::ExitCode::kRoundtripFailed)];
-    rep->alerts.push_back("round-trip mismatch (pages the on-call, §5.7)");
+    rep->alerts.push_back(
+        stats.payload_overrun
+            ? "decoder overran its arithmetic payload (truncation, §5.7)"
+            : "round-trip mismatch (pages the on-call, §5.7)");
     return;
   }
   if (!d2.ok() || d2.data != d1.data) {

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "coding/coder_ops.h"
+#include "jpeg/dct.h"
 #include "jpeg/jpeg_types.h"
+#include "jpeg/parser.h"
 #include "model/model.h"
 #include "model/predictors.h"
 #include "util/tracked_memory.h"
@@ -56,17 +58,61 @@ struct SectionTally {
   std::uint64_t bytes_dc = 0;    // DC delta
 };
 
+// The two context block rows a SegmentCodec keeps per component. Owned
+// externally (CodecContext worker scratch) so repeated codec runs reuse the
+// grown-once ring allocations; SegmentCodec re-shapes it to the current
+// frame geometry and invalidates every slot on construction.
+struct SegmentRings {
+  std::vector<std::array<util::tracked_vector<BlockState>, 2>> comps;
+};
+
 template <typename Ops>
 class SegmentCodec {
+  // Per-component Lakhani basis with the quantization step folded in
+  // ([row] tables index [u][v], [col] tables [v][u]).
+  struct EdgeTables {
+    std::int64_t bq7_row[8][8];
+    std::int64_t bq0_row[8][8];
+    std::int64_t bq7_col[8][8];
+    std::int64_t bq0_col[8][8];
+  };
+
  public:
+  // `scratch` (optional) supplies reusable ring storage; when null the
+  // codec owns its rings. Either way every slot starts invalid — a segment
+  // boundary behaves like the top of the image.
   SegmentCodec(Ops ops, ProbabilityModel& pm, const jpegfmt::JpegFile& jf,
-               const ModelOptions& opts)
-      : ops_(ops), pm_(pm), jf_(jf), opts_(opts) {
+               const ModelOptions& opts, SegmentRings* scratch = nullptr)
+      : ops_(ops),
+        pm_(pm),
+        jf_(jf),
+        opts_(opts),
+        rings_(scratch != nullptr ? scratch : &own_rings_) {
     const auto& fr = jf.frame;
-    rings_.resize(fr.comps.size());
+    rings_->comps.resize(fr.comps.size());
     for (std::size_t c = 0; c < fr.comps.size(); ++c) {
-      rings_[c][0].resize(fr.comps[c].width_blocks);
-      rings_[c][1].resize(fr.comps[c].width_blocks);
+      auto wb = static_cast<std::size_t>(fr.comps[c].width_blocks);
+      for (auto& row : rings_->comps[c]) {
+        row.resize(wb);
+        for (auto& bs : row) bs.valid = false;  // clear reused slots
+      }
+    }
+    // Fold the quantization table into the Lakhani basis rows once per
+    // segment: the edge predictor then spends one multiply per term
+    // instead of two, on a path that runs for every edge coefficient.
+    if (opts_.lakhani_edges) {
+      for (std::size_t c = 0; c < fr.comps.size(); ++c) {
+        const std::uint16_t* q = jf.qtables[fr.comps[c].quant_idx].q.data();
+        EdgeTables& t = edge_tables_[c];
+        for (int u = 0; u < 8; ++u) {
+          for (int v = 0; v < 8; ++v) {
+            t.bq7_row[u][v] = jpegfmt::dct_basis_q20(7, v) * q[u * 8 + v];
+            t.bq0_row[u][v] = jpegfmt::dct_basis_q20(0, v) * q[u * 8 + v];
+            t.bq7_col[v][u] = jpegfmt::dct_basis_q20(7, u) * q[u * 8 + v];
+            t.bq0_col[v][u] = jpegfmt::dct_basis_q20(0, u) * q[u * 8 + v];
+          }
+        }
+      }
     }
   }
 
@@ -95,7 +141,7 @@ class SegmentCodec {
   // if it were the top of the image (this independence is what costs a
   // little compression per extra thread, §3.4).
   void reset_above_context() {
-    for (auto& ring : rings_) {
+    for (auto& ring : rings_->comps) {
       for (auto& row : ring) {
         for (auto& bs : row) bs.valid = false;
       }
@@ -105,7 +151,7 @@ class SegmentCodec {
   // Read back a decoded block from the ring (valid for the two most recent
   // block rows of the component).
   const std::int16_t* row_block(int ci, int bx, int by) const {
-    return rings_[ci][by & 1][static_cast<std::size_t>(bx)].coef.data();
+    return rings_->comps[ci][by & 1][static_cast<std::size_t>(bx)].coef.data();
   }
 
   // Attribute compressed bytes to block sections (encode side only).
@@ -117,10 +163,17 @@ class SegmentCodec {
     const std::uint16_t* q = jf_.qtables[comp.quant_idx].q.data();
     KindModel& km = pm_.for_component(ci);
 
-    auto& cur_row = rings_[ci][by & 1];
-    auto& prev_row = rings_[ci][(by - 1) & 1];
+    auto& cur_row = rings_->comps[ci][by & 1];
+    auto& prev_row = rings_->comps[ci][(by - 1) & 1];
     BlockState& bs = cur_row[static_cast<std::size_t>(bx)];
-    bs = BlockState{};  // clear (ring slot reuse)
+    // Clear only what later reads depend on (ring slot reuse): the decode
+    // side writes just the nonzero coefficients, so coef must start zeroed
+    // (the encode side copies all 64 from truth); nz77/px_bottom/px_right/
+    // valid are unconditionally overwritten below and in
+    // finalize_block_pixels. A full BlockState{} assignment would memset
+    // twice as many bytes once per block.
+    if constexpr (!Ops::kEncoding) bs.coef.fill(0);
+    bs.valid = false;
 
     Neighbors nb;
     if (by > 0 && prev_row[bx].valid) nb.above = &prev_row[bx];
@@ -128,6 +181,26 @@ class SegmentCodec {
     if (by > 0 && bx > 0 && prev_row[bx - 1].valid) {
       nb.above_left = &prev_row[bx - 1];
     }
+
+    // Branch-free neighbour magnitude: absent neighbours read from a shared
+    // all-zero block, so the per-coefficient accessor (called for every
+    // 7x7 and edge coefficient) has no null checks. The Neighbors struct
+    // keeps real nulls — Lakhani and the DC gradient must distinguish
+    // "absent" from "zero".
+    static const BlockState kZeroBlock{};
+    const std::int16_t* mag_a =
+        nb.above != nullptr ? nb.above->coef.data() : kZeroBlock.coef.data();
+    const std::int16_t* mag_l =
+        nb.left != nullptr ? nb.left->coef.data() : kZeroBlock.coef.data();
+    const std::int16_t* mag_al = nb.above_left != nullptr
+                                     ? nb.above_left->coef.data()
+                                     : kZeroBlock.coef.data();
+    auto wmag = [mag_a, mag_l, mag_al](int nat) -> std::uint32_t {
+      int a = mag_a[nat] < 0 ? -mag_a[nat] : mag_a[nat];
+      int l = mag_l[nat] < 0 ? -mag_l[nat] : mag_l[nat];
+      int al = mag_al[nat] < 0 ? -mag_al[nat] : mag_al[nat];
+      return static_cast<std::uint32_t>(13 * a + 13 * l + 6 * al) / 32u;
+    };
 
     std::int16_t* blk = bs.coef.data();
     if constexpr (Ops::kEncoding) {
@@ -163,7 +236,7 @@ class SegmentCodec {
     int remaining = nz;
     for (int i = 0; i < kNum77 && remaining > 0; ++i) {
       int nat = order[i];
-      int avg_b = magnitude_bucket(avg_neighbor_magnitude(nb, nat));
+      int avg_b = magnitude_bucket(wmag(nat));
       int rem_b = nz_count_bucket(remaining);
       std::int32_t v = coding::code_value(
           ops_, km.c77_exp.at(i).at(avg_b).at(rem_b).row(),
@@ -183,8 +256,8 @@ class SegmentCodec {
     }
 
     // ---- (3) edges: 7x1 column (left-predicted), 1x7 row (above-) ----
-    code_edge(km, nb, blk, q, /*orientation=*/0, nz);
-    code_edge(km, nb, blk, q, /*orientation=*/1, nz);
+    code_edge(km, nb, blk, q, wmag, ci, /*orientation=*/0, nz);
+    code_edge(km, nb, blk, q, wmag, ci, /*orientation=*/1, nz);
 
     if (tally_ != nullptr) {
       std::uint64_t now = coded_bytes();
@@ -222,8 +295,54 @@ class SegmentCodec {
     finalize_block_pixels(bs, px_ac, q);
   }
 
+  // Fast Lakhani path: same continuity solve as
+  // model::lakhani_edge_prediction, but with the quantization table folded
+  // into the basis rows (one multiply per term) and the final
+  // requantization division replaced by the shift walk that computes the
+  // signed_pred_bucket directly — the prediction is only ever consumed as
+  // a bucket. Differs from the reference at round-to-nearest boundaries
+  // only; encode and decode share it, so symmetry holds.
+  int lakhani_bucket(const EdgeTables& t, int orientation, int index,
+                     const std::int16_t* cur, const BlockState* neighbor,
+                     const std::uint16_t* q) const {
+    if (neighbor == nullptr) return 8;  // no context: predict 0
+    std::int64_t num = 0;
+    std::uint32_t qq;
+    if (orientation == 0) {
+      const int u = index;
+      for (int v = 0; v < 8; ++v) {
+        num += t.bq7_row[u][v] * neighbor->coef[u * 8 + v];
+      }
+      for (int v = 1; v < 8; ++v) {
+        num -= t.bq0_row[u][v] * cur[u * 8 + v];
+      }
+      qq = q[u * 8];
+    } else {
+      const int v = index;
+      for (int u = 0; u < 8; ++u) {
+        num += t.bq7_col[v][u] * neighbor->coef[u * 8 + v];
+      }
+      for (int u = 1; u < 8; ++u) {
+        num -= t.bq0_col[v][u] * cur[u * 8 + v];
+      }
+      qq = q[v];
+    }
+    std::int64_t pred_dq = num / jpegfmt::dct_basis_q20(0, 0);
+    std::uint64_t a = pred_dq < 0 ? static_cast<std::uint64_t>(-pred_dq)
+                                  : static_cast<std::uint64_t>(pred_dq);
+    if (qq == 0) qq = 1;
+    // m = bit length of |pred| / q (truncating), clamped to 8 — the
+    // magnitude half of signed_pred_bucket without materializing the
+    // quotient.
+    int m = 0;
+    while (m < 8 && a >= (static_cast<std::uint64_t>(qq) << m)) ++m;
+    return pred_dq < 0 ? 8 - m : 8 + m;
+  }
+
+  template <typename WMag>
   void code_edge(KindModel& km, const Neighbors& nb, std::int16_t* blk,
-                 const std::uint16_t* q, int orientation, int nz77v) {
+                 const std::uint16_t* q, const WMag& wmag, int ci,
+                 int orientation, int nz77v) {
     // orientation 0: F[u][0], predicted from the left block;
     // orientation 1: F[0][v], predicted from the above block.
     const BlockState* neighbor = orientation == 0 ? nb.left : nb.above;
@@ -243,16 +362,17 @@ class SegmentCodec {
     int remaining = count;
     for (int i = 1; i < 8 && remaining > 0; ++i) {
       int nat = orientation == 0 ? i * 8 : i;
-      std::int32_t predicted = 0;
+      int pb;
       if (opts_.lakhani_edges) {
-        predicted = lakhani_edge_prediction(orientation, i, blk, neighbor, q);
+        pb = lakhani_bucket(edge_tables_[static_cast<std::size_t>(ci)],
+                            orientation, i, blk, neighbor, q);
       } else {
-        predicted = avg_neighbor_value(nb, nat);
+        std::int32_t predicted = avg_neighbor_value(nb, nat);
+        if (predicted > 1023) predicted = 1023;
+        if (predicted < -1023) predicted = -1023;
+        pb = signed_pred_bucket(predicted);
       }
-      if (predicted > 1023) predicted = 1023;
-      if (predicted < -1023) predicted = -1023;
-      int pb = signed_pred_bucket(predicted);
-      int mb = magnitude_bucket(avg_neighbor_magnitude(nb, nat));
+      int mb = magnitude_bucket(wmag(nat));
       if (mb > 3) mb = 3;
       std::int32_t v = coding::code_value(
           ops_, km.edge_exp.at(orientation).at(i - 1).at(pb).at(mb).row(),
@@ -270,9 +390,12 @@ class SegmentCodec {
   ProbabilityModel& pm_;
   const jpegfmt::JpegFile& jf_;
   ModelOptions opts_;
+  std::array<EdgeTables, 4> edge_tables_{};
   SectionTally* tally_ = nullptr;
-  // Two block rows of context per component, indexed by (by & 1).
-  std::vector<std::array<util::tracked_vector<BlockState>, 2>> rings_;
+  // Two block rows of context per component, indexed by (by & 1). Points at
+  // caller-provided scratch when available, at own_rings_ otherwise.
+  SegmentRings own_rings_;
+  SegmentRings* rings_;
 };
 
 }  // namespace lepton::model

@@ -19,7 +19,10 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 
 #include "coding/branch.h"
 
@@ -37,22 +40,34 @@ struct ModelOptions {
 
 // ---- Context bucketing -----------------------------------------------------
 
-// ⌊log1.59(n)⌋-style bucket for non-zero counts, clamped to [0, 9].
+// The bucketing functions run once per coded coefficient, so the loops the
+// obvious formulations would use are replaced with a small lookup table
+// (nz counts) and std::bit_width (single instruction on every relevant
+// target). Each carries a static_assert or is covered by model_test
+// equivalence checks against the reference definition.
+
+// ⌊log1.59(n)⌋-style bucket for non-zero counts, clamped to [0, 9]:
+// thresholds 1, 2, 3, 5, 7, 11, 17, 26, 41.
 inline int nz_count_bucket(int n) {
-  static constexpr int kThresholds[9] = {1, 2, 3, 5, 7, 11, 17, 26, 41};
-  int b = 0;
-  while (b < 9 && n >= kThresholds[b]) ++b;
-  return b;  // 0..9
+  static constexpr std::array<std::uint8_t, 64> kBucket = [] {
+    constexpr int kThresholds[9] = {1, 2, 3, 5, 7, 11, 17, 26, 41};
+    std::array<std::uint8_t, 64> t{};
+    for (int v = 0; v < 64; ++v) {
+      int b = 0;
+      while (b < 9 && v >= kThresholds[b]) ++b;
+      t[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>(b);
+    }
+    return t;
+  }();
+  if (n < 0) n = 0;
+  if (n > 63) n = 63;
+  return kBucket[static_cast<std::size_t>(n)];
 }
 
 // ⌊log2(1+x)⌋ clamped to [0, 11] for neighbour-magnitude averages.
 inline int magnitude_bucket(std::uint32_t x) {
-  int b = 0;
-  while (x != 0 && b < 11) {
-    ++b;
-    x >>= 1;
-  }
-  return b;
+  int b = std::bit_width(x);
+  return b > 11 ? 11 : b;
 }
 
 // Signed prediction bucket for edge coefficients: 8 negative magnitudes,
@@ -61,22 +76,15 @@ inline int signed_pred_bucket(std::int32_t p) {
   if (p == 0) return 8;
   std::uint32_t a = p < 0 ? static_cast<std::uint32_t>(-p)
                           : static_cast<std::uint32_t>(p);
-  int m = 0;
-  while (a != 0 && m < 8) {
-    ++m;
-    a >>= 1;
-  }
+  int m = std::bit_width(a);
+  if (m > 8) m = 8;
   return p < 0 ? 8 - m : 8 + m;
 }
 
 // Confidence bucket for the DC prediction spread, [0, 16].
 inline int confidence_bucket(std::uint32_t spread) {
-  int b = 0;
-  while (spread != 0 && b < 16) {
-    ++b;
-    spread >>= 1;
-  }
-  return b;
+  int b = std::bit_width(spread);
+  return b > 16 ? 16 : b;
 }
 
 // ---- Model storage ---------------------------------------------------------
@@ -156,6 +164,17 @@ struct ProbabilityModel {
   std::array<KindModel, 2> kinds;
   KindModel& for_component(int comp_idx) {
     return kinds[comp_idx == 0 ? 0 : 1];
+  }
+
+  // Returns every bin to the 50-50 prior without touching the heap: a
+  // freshly constructed Branch holds virtual counts 1/1, i.e. the byte
+  // pattern 0x01 0x01, so one memset reproduces construction exactly. This
+  // is what lets a long-lived CodecContext reuse one model allocation per
+  // worker across files (no model-sized allocation after warm-up).
+  void reset() {
+    static_assert(std::is_trivially_copyable_v<KindModel>);
+    static_assert(sizeof(KindModel) % sizeof(coding::Branch) == 0);
+    std::memset(static_cast<void*>(kinds.data()), 0x01, sizeof(kinds));
   }
 };
 

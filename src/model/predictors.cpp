@@ -76,12 +76,7 @@ std::int32_t lakhani_edge_prediction(int orientation, int index,
 
 void ac_only_pixels(const std::int16_t* coef, const std::uint16_t* q,
                     std::int32_t px_out[64]) {
-  std::int32_t dq[64];
-  dq[0] = 0;  // DC unknown / excluded
-  for (int i = 1; i < 64; ++i) {
-    dq[i] = static_cast<std::int32_t>(coef[i]) * q[i];
-  }
-  jpegfmt::idct_8x8_scaled(dq, px_out);
+  jpegfmt::idct_8x8_dequant_ac(coef, q, px_out);
 }
 
 DcPrediction predict_dc_gradient(const Neighbors& nb,
@@ -123,12 +118,16 @@ DcPrediction predict_dc_gradient(const Neighbors& nb,
     mx = est[i] > mx ? est[i] : mx;
   }
   std::int32_t q00 = q[0] == 0 ? 1 : q[0];
-  out.predicted_dc = round_div(round_div(sum, n), q00);
+  // n is 8 (one neighbour) or 16 (both): constant-divisor branches let the
+  // compiler turn the estimate average into shifts instead of a division.
+  std::int32_t avg = n == 16 ? round_div(sum, 16) : round_div(sum, 8);
+  out.predicted_dc = round_div(avg, q00);
   out.spread = static_cast<std::uint32_t>((mx - mn) / q00);
   return out;
 }
 
-DcPrediction predict_dc_simple(const Neighbors& nb, const std::uint16_t* q) {
+DcPrediction predict_dc_simple(const Neighbors& nb,
+                               const std::uint16_t* /*q*/) {
   DcPrediction out;
   int n = 0;
   std::int32_t sum = 0;

@@ -27,18 +27,19 @@ class BitWriter {
   }
 
   // Append the low `count` bits of `bits` (0 <= count <= 32), MSB-first.
+  // The bits land in a 64-bit accumulator and flush a byte at a time — one
+  // shift+or per call instead of a per-bit loop.
   void put_bits(std::uint32_t bits, int count) {
-    for (int i = count - 1; i >= 0; --i) put_bit((bits >> i) & 1u);
+    acc_ = (acc_ << count) | (bits & ((1ull << count) - 1ull));
+    nbits_ += count;
+    while (nbits_ >= 8) {
+      nbits_ -= 8;
+      out_.push_back(static_cast<std::uint8_t>(acc_ >> nbits_));
+    }
+    acc_ &= (1ull << nbits_) - 1ull;
   }
 
-  void put_bit(std::uint32_t bit) {
-    acc_ = static_cast<std::uint16_t>((acc_ << 1) | (bit & 1u));
-    if (++nbits_ == 8) {
-      out_.push_back(static_cast<std::uint8_t>(acc_));
-      acc_ = 0;
-      nbits_ = 0;
-    }
-  }
+  void put_bit(std::uint32_t bit) { put_bits(bit & 1u, 1); }
 
   // Pad the current byte to a boundary using copies of `pad_bit` (JPEG
   // encoders disagree on the pad polarity; Lepton records it — §A.3).
@@ -67,7 +68,7 @@ class BitWriter {
 
  private:
   std::vector<std::uint8_t> out_;
-  std::uint16_t acc_ = 0;
+  std::uint64_t acc_ = 0;
   int nbits_ = 0;
 };
 
@@ -91,9 +92,31 @@ class BitReader {
     return bit;
   }
 
+  // MSB-first batch read: extracts per byte rather than per bit. Truncation
+  // behaves like repeated get_bit() — missing bits read as 0 and ok()
+  // flips false.
   std::uint32_t get_bits(int count) {
     std::uint32_t v = 0;
-    for (int i = 0; i < count; ++i) v = (v << 1) | get_bit();
+    while (count > 0) {
+      if (byte_pos_ >= data_.size()) {
+        ok_ = false;
+        // count can still be 32 here (nothing consumed yet); a shift by the
+        // full width would be UB, so zero-fill explicitly.
+        return count < 32 ? v << count : 0;
+      }
+      int avail = 8 - bit_pos_;
+      int take = avail < count ? avail : count;
+      std::uint32_t chunk =
+          (static_cast<std::uint32_t>(data_[byte_pos_]) >> (avail - take)) &
+          ((1u << take) - 1u);
+      v = (v << take) | chunk;
+      count -= take;
+      bit_pos_ += take;
+      if (bit_pos_ == 8) {
+        bit_pos_ = 0;
+        ++byte_pos_;
+      }
+    }
     return v;
   }
 
