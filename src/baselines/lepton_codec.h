@@ -1,9 +1,12 @@
 // Adapts the Lepton public API to the comparison-codec interface so the
 // Figure 1/2/3 benches treat it uniformly ("Lepton" and "Lepton 1-way").
+// Drives the streaming sessions directly (session.h) — the same single
+// codec path as every other entry point.
 #pragma once
 
 #include "baselines/codec_iface.h"
 #include "lepton/codec.h"
+#include "lepton/session.h"
 
 namespace lepton::baselines {
 
@@ -17,14 +20,20 @@ class LeptonCodecAdapter : public Codec {
   }
   bool jpeg_aware() const override { return true; }
   CodecResult encode(std::span<const std::uint8_t> input) override {
-    auto r = lepton::encode_jpeg(input, opts_);
-    return {r.code, std::move(r.data)};
+    VectorSink sink;
+    EncodeSession session(opts_);
+    session.feed(input);
+    auto code = session.finish(sink);
+    return {code, std::move(sink.data)};
   }
   CodecResult decode(std::span<const std::uint8_t> input) override {
     DecodeOptions d;
     d.run_parallel = !one_way_;
-    auto r = lepton::decode_lepton(input, d);
-    return {r.code, std::move(r.data)};
+    VectorSink sink;
+    DecodeSession session(sink, d);
+    session.feed(input);
+    auto code = session.finish();
+    return {code, std::move(sink.data)};
   }
 
  private:

@@ -169,6 +169,15 @@ class BoolDecoder {
   // truncation from exact consumption.
   bool overran() const { return overran_; }
 
+  // Exact consumption counts behind the exhausted()/overran() booleans,
+  // aggregated into lepton::DecodeStats so validation layers outside the
+  // whole-file path (chunk decode, the store's get()) can report *how far*
+  // a stream was consumed, not just whether it ran out. consumed() never
+  // exceeds available(): an overrunning decode reads synthetic zero bytes,
+  // it does not advance past the end.
+  std::size_t consumed() const { return pos_; }
+  std::size_t available() const { return d_.size(); }
+
  private:
   std::uint8_t next_byte() {
     if (pos_ >= d_.size()) {

@@ -352,4 +352,133 @@ JpegFile parse_impl(std::span<const std::uint8_t> bytes, bool header_only) {
 
 }  // namespace
 
+// ---- streaming header probe -------------------------------------------------
+
+HeaderProbeStatus JpegHeaderProbe::reject(util::ExitCode code,
+                                          std::string msg) {
+  status_ = HeaderProbeStatus::kRejected;
+  code_ = code;
+  msg_ = std::move(msg);
+  return status_;
+}
+
+HeaderProbeStatus JpegHeaderProbe::update(std::span<const std::uint8_t> bytes) {
+  if (status_ != HeaderProbeStatus::kNeedMore) return status_;
+
+  if (pos_ == 0) {
+    if (!bytes.empty() && bytes[0] != 0xFF) {
+      return reject(ExitCode::kNotAnImage, "no SOI");
+    }
+    if (bytes.size() >= 2 && bytes[1] != kSOI) {
+      return reject(ExitCode::kNotAnImage, "no SOI");
+    }
+    if (bytes.size() < 2) return status_;
+    pos_ = 2;
+  }
+
+  // Marker walk, resumed at pos_ — always a marker boundary. A marker
+  // segment is examined only once every one of its bytes has arrived;
+  // classification reuses the same segment parsers as parse_jpeg, so the
+  // probe can never disagree with the authoritative parse, only run ahead
+  // of it.
+  for (;;) {
+    std::size_t p = pos_;
+    if (p >= bytes.size()) return status_;
+    if (bytes[p] != 0xFF) {
+      return reject(ExitCode::kNotAnImage, "marker expected");
+    }
+    ++p;
+    while (p < bytes.size() && bytes[p] == 0xFF) ++p;  // fill bytes
+    if (p >= bytes.size()) return status_;
+    std::uint8_t marker = bytes[p];
+    ++p;
+
+    if (marker == kSOS) {
+      if (!have_sof_) return reject(ExitCode::kNotAnImage, "SOS before SOF");
+      if (p + 2 > bytes.size()) return status_;
+      std::size_t len = (static_cast<std::size_t>(bytes[p]) << 8) | bytes[p + 1];
+      if (len < 2) return reject(ExitCode::kNotAnImage, "SOS length");
+      if (p + len > bytes.size()) return status_;
+      try {
+        Cursor c(bytes);
+        c.skip(p + 2);
+        parse_sos(c, len - 2, jf_);
+        finalize_geometry(jf_);
+      } catch (const ParseError& e) {
+        return reject(e.code(), e.what());
+      }
+      scan_begin_ = p + len;
+      status_ = HeaderProbeStatus::kComplete;
+      return status_;
+    }
+    if (marker == kEOI) {
+      return reject(ExitCode::kUnsupportedJpeg, "header-only file");
+    }
+    if (marker == kSOI || (marker >= 0xD0 && marker <= 0xD7)) {
+      return reject(ExitCode::kNotAnImage, "stray restart/SOI in header");
+    }
+
+    if (p + 2 > bytes.size()) return status_;
+    std::size_t len = (static_cast<std::size_t>(bytes[p]) << 8) | bytes[p + 1];
+    if (len < 2) return reject(ExitCode::kNotAnImage, "segment length");
+    std::size_t payload = len - 2;
+
+    // Marker-level rejections do not need the payload: a progressive or
+    // hierarchical file dies the moment its SOF marker arrives, even if
+    // the upload has barely started.
+    switch (marker) {
+      case 0xC0:
+      case 0xC1:
+        if (have_sof_) return reject(ExitCode::kNotAnImage, "duplicate SOF");
+        break;
+      case 0xC2:
+        return reject(ExitCode::kProgressive, "progressive JPEG");
+      case 0xC3:
+      case 0xC5:
+      case 0xC6:
+      case 0xC7:
+      case 0xC9:
+      case 0xCA:
+      case 0xCB:
+      case 0xCD:
+      case 0xCE:
+      case 0xCF:
+        return reject(ExitCode::kUnsupportedJpeg, "unsupported SOF type");
+      case 0xDC:  // DNL
+      case 0xDE:  // DHP (hierarchical)
+      case 0xDF:  // EXP
+        return reject(ExitCode::kUnsupportedJpeg, "hierarchical/DNL");
+      default:
+        break;
+    }
+    if (p + 2 + payload > bytes.size()) return status_;
+
+    try {
+      Cursor c(bytes);
+      c.skip(p + 2);
+      switch (marker) {
+        case 0xC0:
+        case 0xC1:
+          parse_sof(c, payload, jf_);
+          have_sof_ = true;
+          break;
+        case kDHT:
+          parse_dht(c, payload, jf_);
+          break;
+        case kDQT:
+          parse_dqt(c, payload, jf_);
+          break;
+        case kDRI:
+          if (payload != 2) return reject(ExitCode::kNotAnImage, "DRI length");
+          break;
+        default:
+          break;  // APPn, COM, unrecognized-but-framed: carried verbatim
+      }
+    } catch (const ParseError& e) {
+      return reject(e.code(), e.what());
+    }
+    pos_ = p + 2 + payload;
+  }
+}
+
 }  // namespace lepton::jpegfmt

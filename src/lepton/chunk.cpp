@@ -1,8 +1,7 @@
 #include "lepton/chunk.h"
 
-#include "jpeg/scan_decoder.h"
 #include "lepton/context.h"
-#include "lepton/plan.h"
+#include "lepton/session.h"
 
 namespace lepton {
 
@@ -13,34 +12,19 @@ CodecContext& ChunkCodec::context() const {
 ChunkSetResult ChunkCodec::encode_chunks(
     std::span<const std::uint8_t> jpeg) const {
   ChunkSetResult out;
-  try {
-    auto jf = jpegfmt::parse_jpeg(jpeg);
-    auto dec = jpegfmt::decode_scan(jf);
-    std::uint64_t size = jpeg.size();
-    for (std::uint64_t off = 0; off < size; off += chunk_size_) {
-      std::uint64_t end = std::min<std::uint64_t>(off + chunk_size_, size);
-      auto plan =
-          core::plan_byte_range(jf, dec, off, end, opts_, /*is_chunk=*/true);
-      out.chunks.push_back(
-          core::encode_container(jf, dec, plan, opts_, nullptr, context()));
-    }
-  } catch (const jpegfmt::ParseError& e) {
-    out.code = e.code();
-    out.message = e.what();
-    out.chunks.clear();
-  } catch (const std::exception& e) {
-    out.code = util::ExitCode::kImpossible;
-    out.message = e.what();
-    out.chunks.clear();
-  }
+  EncodeSession session(opts_, &context());
+  session.feed(jpeg);
+  out.code = session.finish_chunks(chunk_size_, &out.chunks);
+  if (!out.ok()) out.message = session.message();
   return out;
 }
 
 Result ChunkCodec::decode_chunk(std::span<const std::uint8_t> chunk,
-                                const DecodeOptions& opts) const {
+                                const DecodeOptions& opts,
+                                DecodeStats* stats) const {
   Result r;
   VectorSink sink;
-  r.code = decode_lepton(chunk, sink, opts, context(), nullptr);
+  r.code = decode_lepton(chunk, sink, opts, context(), stats);
   r.data = std::move(sink.data);
   return r;
 }

@@ -48,12 +48,18 @@ class ChunkCodec {
 
   // Splits the JPEG into fixed-size byte ranges and compresses each into an
   // independent container. Classified failure leaves `chunks` empty.
+  // A wrapper over EncodeSession::finish_chunks (session.h).
   ChunkSetResult encode_chunks(std::span<const std::uint8_t> jpeg) const;
 
   // Decodes one chunk in isolation: returns exactly the original file bytes
-  // [info.offset, info.offset + info.length).
+  // [info.offset, info.offset + info.length). A wrapper over DecodeSession.
+  // `stats` (optional) reports payload-consumption facts — a decode that
+  // overran or under-consumed its arithmetic payload is suspect even when
+  // the byte count came out right (§5.7), and callers like the store's
+  // get() path act on it.
   Result decode_chunk(std::span<const std::uint8_t> chunk,
-                      const DecodeOptions& opts = {}) const;
+                      const DecodeOptions& opts = {},
+                      DecodeStats* stats = nullptr) const;
 
   // Reads a chunk's placement without decoding it.
   static util::ExitCode chunk_info(std::span<const std::uint8_t> chunk,

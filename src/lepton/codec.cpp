@@ -8,6 +8,7 @@
 #include "jpeg/scan_encoder.h"
 #include "lepton/context.h"
 #include "lepton/plan.h"
+#include "lepton/session.h"
 #include "model/block_codec.h"
 #include "util/thread_pool.h"
 #include "util/tracked_memory.h"
@@ -16,45 +17,6 @@ namespace lepton {
 namespace {
 
 using util::ExitCode;
-
-// In-order streaming assembler for parallel segment output (§3.4: separate
-// threads each write their own segment, which is concatenated and sent).
-// Completion is tracked with one flag per segment — any segment count the
-// format layer admits (kMaxSegments) works; the flags are only touched
-// under the mutex.
-class OrderedEmitter {
- public:
-  OrderedEmitter(ByteSink& sink, std::size_t n)
-      : sink_(sink), pending_(n), completed_(n, 0) {}
-
-  void submit(std::size_t seg, std::span<const std::uint8_t> bytes) {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (seg == live_) {
-      sink_.append(bytes);
-    } else {
-      pending_[seg].insert(pending_[seg].end(), bytes.begin(), bytes.end());
-    }
-  }
-
-  void complete(std::size_t seg) {
-    std::lock_guard<std::mutex> lk(mu_);
-    completed_[seg] = 1;
-    while (live_ < pending_.size() && completed_[live_] != 0) {
-      ++live_;
-      if (live_ < pending_.size() && !pending_[live_].empty()) {
-        sink_.append({pending_[live_].data(), pending_[live_].size()});
-        pending_[live_].clear();
-      }
-    }
-  }
-
- private:
-  ByteSink& sink_;
-  std::mutex mu_;
-  std::size_t live_ = 0;
-  std::vector<std::vector<std::uint8_t>> pending_;
-  std::vector<std::uint8_t> completed_;  // one flag per segment
-};
 
 // Decode working-set estimate for the §6.2 ">24 MiB mem decode" gate: the
 // per-thread model copy plus two context rows per component.
@@ -106,6 +68,7 @@ std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
   h.suffix = plan.suffix;
   h.segments = plan.segments;
 
+  const RunControl* rc = opts.run;
   const std::size_t nseg = plan.segments.size();
   // One scratch lease per segment, held until the container is serialized:
   // each segment's arithmetic output lives in its scratch buffer and is
@@ -116,9 +79,15 @@ std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
     leases.push_back(ctx.acquire_scratch());
   }
   std::vector<std::span<const std::uint8_t>> arith(nseg);
-  std::atomic<bool> failed{false};
-  auto encode_segment = [&](int i) {
+  std::atomic<int> error_code{-1};
+  auto encode_segment = [&](int i, bool tripped) {
     try {
+      if (tripped) {
+        // The session's deadline/cancel tripped before this segment started
+        // (sampled at dispatch in CodecContext::parallel_run): do no work.
+        throw jpegfmt::ParseError(ExitCode::kTimeout,
+                                  "session cancelled before segment start");
+      }
       const auto& seg = plan.segments[static_cast<std::size_t>(i)];
       CodecScratch& scratch = *leases[static_cast<std::size_t>(i)];
       coding::BoolEncoder enc(&scratch.arith_buffer());
@@ -130,32 +99,31 @@ std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
         codec.set_tally(tally);
       }
       for (std::uint32_t row = seg.start_row; row < seg.end_row; ++row) {
+        if (rc != nullptr && rc->tripped()) {
+          throw jpegfmt::ParseError(ExitCode::kTimeout,
+                                    "session deadline tripped mid-encode");
+        }
         codec.code_mcu_row(static_cast<int>(row), &dec.coeffs);
       }
       enc.finish_into_buffer();
       arith[static_cast<std::size_t>(i)] = {scratch.arith_buffer().data(),
                                             scratch.arith_buffer().size()};
+    } catch (const jpegfmt::ParseError& e) {
+      error_code.store(static_cast<int>(e.code()));
     } catch (...) {
-      failed.store(true);
+      error_code.store(static_cast<int>(ExitCode::kImpossible));
     }
   };
-  if (opts.run_parallel) {
-    ctx.pool().parallel_run(static_cast<int>(nseg), encode_segment);
-  } else {
-    for (std::size_t i = 0; i < nseg; ++i) {
-      encode_segment(static_cast<int>(i));
-    }
-  }
-  if (failed.load()) {
-    throw jpegfmt::ParseError(ExitCode::kImpossible, "segment encode failed");
+  ctx.parallel_run(static_cast<int>(nseg), opts.run_parallel, rc,
+                   encode_segment);
+  if (error_code.load() >= 0) {
+    throw jpegfmt::ParseError(static_cast<ExitCode>(error_code.load()),
+                              "segment encode failed");
   }
   return serialize_container(h, arith);
 }
 
-void decode_container(const ParsedContainer& pc, ByteSink& sink,
-                      const DecodeOptions& opts, CodecContext& ctx,
-                      DecodeStats* stats) {
-  const ContainerHeader& h = pc.header;
+jpegfmt::JpegFile validate_container_decode(const ContainerHeader& h) {
   jpegfmt::JpegFile hdr = jpegfmt::parse_jpeg_header(
       {h.jpeg_header.data(), h.jpeg_header.size()});
 
@@ -175,96 +143,139 @@ void decode_container(const ParsedContainer& pc, ByteSink& sink,
     throw jpegfmt::ParseError(ExitCode::kMemLimitDecode,
                               "decode working set exceeds budget");
   }
+  return hdr;
+}
+
+util::ExitCode decode_one_segment(const ContainerHeader& h,
+                                  const jpegfmt::JpegFile& hdr,
+                                  std::span<const std::uint8_t> arith,
+                                  std::size_t i, CodecContext& ctx,
+                                  OrderedEmitter& em, std::size_t local,
+                                  DecodeRunFlags* flags,
+                                  const RunControl* rc) {
+  ExitCode code = ExitCode::kSuccess;
+  try {
+    const auto& seg = h.segments[i];
+    // Leased inside the task (unlike encode, which must keep every
+    // segment's output buffer alive until serialization): live scratch
+    // is bounded by pool concurrency, not by the attacker-controlled
+    // segment count.
+    CodecContext::ScratchLease lease = ctx.acquire_scratch();
+    CodecScratch& scratch = *lease;
+    coding::BoolDecoder bd({arith.data(), arith.size()});
+    model::SegmentCodec<coding::DecodeOps> codec(coding::DecodeOps{&bd},
+                                                 scratch.fresh_model(), hdr,
+                                                 h.model, &scratch.rings());
+    if (!seg.prepend.empty()) {
+      em.submit(local, {seg.prepend.data(), seg.prepend.size()});
+    }
+    jpegfmt::HuffmanHandover ho = seg.handover;
+    std::uint64_t produced = 0;
+    // Direct lambda into the template entry point: the per-block ring
+    // lookup inlines into the re-encode MCU loop (an std::function there
+    // is an indirect call per block of every decode).
+    auto source = [&codec](int comp, int bx, int by) {
+      return codec.row_block(comp, bx, by);
+    };
+    jpegfmt::ScanEncodeParams p;
+    p.pad_bit = h.pad_bit;
+    p.rst_count_limit = h.rst_count;
+    p.final_segment = false;
+    std::vector<std::uint8_t>& row_bytes = scratch.row_buffer();
+    for (std::uint32_t row = seg.start_row;
+         row < seg.end_row && produced < seg.out_len; ++row) {
+      if (rc != nullptr && rc->tripped()) {
+        throw jpegfmt::ParseError(ExitCode::kTimeout,
+                                  "session deadline tripped mid-decode");
+      }
+      codec.code_mcu_row(static_cast<int>(row), nullptr);
+      p.start_mcu_row = static_cast<int>(row);
+      p.end_mcu_row = static_cast<int>(row) + 1;
+      p.handover = ho;
+      jpegfmt::encode_scan_rows_with(hdr, source, p, &ho, &row_bytes);
+      std::size_t take = row_bytes.size();
+      if (produced + take > seg.out_len) {
+        take = static_cast<std::size_t>(seg.out_len - produced);
+      }
+      em.submit(local, {row_bytes.data(), take});
+      produced += take;
+    }
+    if (flags != nullptr) {
+      if (bd.overran()) flags->overran.store(true);
+      if (!bd.exhausted()) flags->leftover.store(true);
+      flags->payload_bytes.fetch_add(bd.available());
+      flags->payload_consumed.fetch_add(bd.consumed());
+    }
+    if (produced != seg.out_len) {
+      throw jpegfmt::ParseError(ExitCode::kNotAnImage,
+                                "segment produced wrong byte count");
+    }
+  } catch (const jpegfmt::ParseError& e) {
+    code = e.code();
+  } catch (...) {
+    code = ExitCode::kImpossible;
+  }
+  em.complete(local);
+  return code;
+}
+
+util::ExitCode decode_segment_range(
+    const ContainerHeader& h, const jpegfmt::JpegFile& hdr,
+    const std::vector<std::vector<std::uint8_t>>& arith, std::size_t first,
+    ByteSink& sink, const DecodeOptions& opts, CodecContext& ctx,
+    DecodeRunFlags* flags) {
+  const std::size_t nseg = h.segments.size();
+  if (first >= nseg) return ExitCode::kSuccess;
+  const RunControl* rc = opts.run;
+  OrderedEmitter emitter(sink, nseg - first);
+  std::atomic<int> error_code{-1};
+  auto run = [&](int k, bool tripped) {
+    std::size_t seg = first + static_cast<std::size_t>(k);
+    ExitCode code;
+    if (tripped) {
+      // Sampled at dispatch: a tripped session's unstarted segments are
+      // classified without leasing scratch or touching the payload.
+      code = ExitCode::kTimeout;
+      emitter.complete(static_cast<std::size_t>(k));
+    } else {
+      code = decode_one_segment(h, hdr, {arith[seg].data(), arith[seg].size()},
+                                seg, ctx, emitter,
+                                static_cast<std::size_t>(k), flags, rc);
+    }
+    if (code != ExitCode::kSuccess) {
+      error_code.store(static_cast<int>(code));
+    }
+  };
+  ctx.parallel_run(static_cast<int>(nseg - first), opts.run_parallel, rc, run);
+  return error_code.load() >= 0 ? static_cast<ExitCode>(error_code.load())
+                                : ExitCode::kSuccess;
+}
+
+void decode_container(const ParsedContainer& pc, ByteSink& sink,
+                      const DecodeOptions& opts, CodecContext& ctx,
+                      DecodeStats* stats) {
+  const ContainerHeader& h = pc.header;
+  jpegfmt::JpegFile hdr = validate_container_decode(h);
 
   // Verbatim prefix (header bytes belonging to this chunk's byte range).
   sink.append({h.jpeg_header.data() + h.prefix_off, h.prefix_len});
 
-  OrderedEmitter emitter(sink, nseg);
-  std::atomic<int> error_code{-1};
-  std::atomic<bool> overran{false};
-  std::atomic<bool> leftover{false};
-
-  auto decode_segment = [&](int i) {
-    try {
-      const auto& seg = h.segments[static_cast<std::size_t>(i)];
-      // Leased inside the task (unlike encode, which must keep every
-      // segment's output buffer alive until serialization): live scratch
-      // is bounded by pool concurrency, not by the attacker-controlled
-      // segment count.
-      CodecContext::ScratchLease lease = ctx.acquire_scratch();
-      CodecScratch& scratch = *lease;
-      coding::BoolDecoder bd(
-          {pc.arith[static_cast<std::size_t>(i)].data(),
-           pc.arith[static_cast<std::size_t>(i)].size()});
-      model::SegmentCodec<coding::DecodeOps> codec(coding::DecodeOps{&bd},
-                                                   scratch.fresh_model(), hdr,
-                                                   h.model, &scratch.rings());
-      if (!seg.prepend.empty()) {
-        emitter.submit(static_cast<std::size_t>(i),
-                       {seg.prepend.data(), seg.prepend.size()});
-      }
-      jpegfmt::HuffmanHandover ho = seg.handover;
-      std::uint64_t produced = 0;
-      // Direct lambda into the template entry point: the per-block ring
-      // lookup inlines into the re-encode MCU loop (an std::function there
-      // is an indirect call per block of every decode).
-      auto source = [&codec](int comp, int bx, int by) {
-        return codec.row_block(comp, bx, by);
-      };
-      jpegfmt::ScanEncodeParams p;
-      p.pad_bit = h.pad_bit;
-      p.rst_count_limit = h.rst_count;
-      p.final_segment = false;
-      std::vector<std::uint8_t>& row_bytes = scratch.row_buffer();
-      for (std::uint32_t row = seg.start_row;
-           row < seg.end_row && produced < seg.out_len; ++row) {
-        codec.code_mcu_row(static_cast<int>(row), nullptr);
-        p.start_mcu_row = static_cast<int>(row);
-        p.end_mcu_row = static_cast<int>(row) + 1;
-        p.handover = ho;
-        jpegfmt::encode_scan_rows_with(hdr, source, p, &ho, &row_bytes);
-        std::size_t take = row_bytes.size();
-        if (produced + take > seg.out_len) {
-          take = static_cast<std::size_t>(seg.out_len - produced);
-        }
-        emitter.submit(static_cast<std::size_t>(i), {row_bytes.data(), take});
-        produced += take;
-      }
-      if (bd.overran()) overran.store(true);
-      if (!bd.exhausted()) leftover.store(true);
-      if (produced != seg.out_len) {
-        throw jpegfmt::ParseError(ExitCode::kNotAnImage,
-                                  "segment produced wrong byte count");
-      }
-      emitter.complete(static_cast<std::size_t>(i));
-    } catch (const jpegfmt::ParseError& e) {
-      error_code.store(static_cast<int>(e.code()));
-      emitter.complete(static_cast<std::size_t>(i));
-    } catch (...) {
-      error_code.store(static_cast<int>(ExitCode::kImpossible));
-      emitter.complete(static_cast<std::size_t>(i));
-    }
-  };
-
-  if (opts.run_parallel) {
-    ctx.pool().parallel_run(static_cast<int>(nseg), decode_segment);
-  } else {
-    for (std::size_t i = 0; i < nseg; ++i) {
-      decode_segment(static_cast<int>(i));
-    }
-  }
-  if (stats != nullptr) {
-    stats->payload_overrun = overran.load();
-    stats->payload_exhausted = !overran.load() && !leftover.load();
-  }
-  if (error_code.load() >= 0) {
-    throw jpegfmt::ParseError(static_cast<ExitCode>(error_code.load()),
-                              "segment decode failed");
+  DecodeRunFlags flags;
+  ExitCode code =
+      decode_segment_range(h, hdr, pc.arith, 0, sink, opts, ctx, &flags);
+  flags.fill(stats);
+  if (code != ExitCode::kSuccess) {
+    throw jpegfmt::ParseError(code, "segment decode failed");
   }
   sink.append({h.suffix.data(), h.suffix.size()});
 }
 
 }  // namespace core
+
+// ---- one-shot wrappers ------------------------------------------------------
+//
+// Every whole-buffer entry point below is a feed-everything wrapper over the
+// streaming sessions (session.h): one codec driver, two calling conventions.
 
 Result encode_jpeg(std::span<const std::uint8_t> jpeg,
                    const EncodeOptions& opts) {
@@ -273,19 +284,13 @@ Result encode_jpeg(std::span<const std::uint8_t> jpeg,
 
 Result encode_jpeg(std::span<const std::uint8_t> jpeg,
                    const EncodeOptions& opts, CodecContext& ctx) {
+  EncodeSession session(opts, &ctx);
+  session.feed(jpeg);
   Result r;
-  try {
-    auto jf = jpegfmt::parse_jpeg(jpeg);
-    auto dec = jpegfmt::decode_scan(jf);
-    auto plan = core::plan_whole_file(jf, dec, opts);
-    r.data = core::encode_container(jf, dec, plan, opts, nullptr, ctx);
-  } catch (const jpegfmt::ParseError& e) {
-    r.code = e.code();
-    r.message = e.what();
-  } catch (const std::exception& e) {
-    r.code = ExitCode::kImpossible;
-    r.message = e.what();
-  }
+  VectorSink sink;
+  r.code = session.finish(sink);
+  r.message = session.message();
+  if (r.ok()) r.data = std::move(sink.data);
   return r;
 }
 
@@ -335,15 +340,9 @@ util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
 util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
                              const DecodeOptions& opts, CodecContext& ctx,
                              DecodeStats* stats) {
-  try {
-    auto pc = core::parse_container(lep);
-    core::decode_container(pc, sink, opts, ctx, stats);
-    return ExitCode::kSuccess;
-  } catch (const jpegfmt::ParseError& e) {
-    return e.code();
-  } catch (const std::exception&) {
-    return ExitCode::kImpossible;
-  }
+  DecodeSession session(sink, opts, &ctx);
+  session.feed(lep);
+  return session.finish(stats);
 }
 
 Result decode_lepton(std::span<const std::uint8_t> lep,

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lepton/format.h"
+#include "lepton/run_control.h"
 #include "model/model.h"
 #include "util/exit_codes.h"
 
@@ -46,22 +47,35 @@ struct EncodeOptions {
   // Run segment work on real threads (false = same segmentation, serial
   // execution; useful for deterministic debugging).
   bool run_parallel = true;
+  // Optional cancellation/deadline control, polled by the segment workers
+  // at MCU-row granularity (run_control.h). Non-owning: must outlive the
+  // call. Sessions wire their own control in here; a trip classifies the
+  // run as kTimeout.
+  RunControl* run = nullptr;
   model::ModelOptions model;
 };
 
 struct DecodeOptions {
   bool run_parallel = true;
+  // Same contract as EncodeOptions::run.
+  RunControl* run = nullptr;
 };
 
 // Stream-consumption facts from a successful decode, for validation layers
-// (verify.cpp's admissibility gate). A well-formed container's arithmetic
-// payload is consumed exactly: no overrun, nothing left over.
+// (verify.cpp's admissibility gate, the store's get() path, chunk decode).
+// A well-formed container's arithmetic payload is consumed exactly: no
+// overrun, nothing left over.
 struct DecodeStats {
   // Some segment's BoolDecoder needed bytes past the end of its payload —
   // the stream was truncated relative to what the coded data demanded.
   bool payload_overrun = false;
   // Every segment consumed its payload to the end (without overrunning).
   bool payload_exhausted = true;
+  // Exact counts behind the booleans, summed across segments: payload
+  // bytes present in the container vs bytes the arithmetic decode actually
+  // consumed. Equal on a well-formed container.
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_consumed = 0;
 };
 
 // Streaming output consumer. append() calls arrive in byte order.
@@ -115,7 +129,9 @@ int threads_for_size(std::size_t bytes, int max_threads);
 // Compresses a baseline JPEG into a single Lepton container. Failures are
 // classified, never thrown. The two-argument form runs on the process-wide
 // default CodecContext (context.h); pass an explicit context to use a
-// dedicated pool.
+// dedicated pool. Implemented as a whole-buffer wrapper over
+// lepton::EncodeSession (session.h) — the streaming session is the one
+// codec driver.
 Result encode_jpeg(std::span<const std::uint8_t> jpeg,
                    const EncodeOptions& opts = {});
 Result encode_jpeg(std::span<const std::uint8_t> jpeg,
@@ -124,7 +140,8 @@ Result encode_jpeg(std::span<const std::uint8_t> jpeg,
 // Decompresses a Lepton container, streaming the original bytes to `sink`.
 // Returns the §6.2 classification (data in the Result stays empty; the sink
 // owns the bytes). `stats`, when given, reports payload-consumption facts
-// for validation layers.
+// for validation layers. Implemented as a whole-buffer wrapper over
+// lepton::DecodeSession (session.h).
 util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,
                              const DecodeOptions& opts = {});
 util::ExitCode decode_lepton(std::span<const std::uint8_t> lep, ByteSink& sink,

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "lepton/codec.h"
+#include "lepton/run_control.h"
 #include "model/block_codec.h"
 #include "model/model.h"
 #include "util/thread_pool.h"
@@ -73,6 +74,26 @@ class CodecContext {
   CodecContext& operator=(const CodecContext&) = delete;
 
   util::ThreadPool& pool() { return pool_; }
+
+  // Segment fan-out bound to a session's RunControl: runs fn(i, tripped)
+  // for i in [0, n) on the pool (the calling thread participates, as in
+  // ThreadPool::parallel_run). `tripped` is the control's state sampled at
+  // dispatch — a segment of a cancelled/expired session observes it before
+  // doing any work and fails fast as kTimeout, so one tripped session stops
+  // scheduling real work without affecting other sessions sharing this
+  // context. `rc` may be null (never tripped). When `parallel` is false the
+  // same dispatch runs as a serial loop on the calling thread.
+  template <typename Fn>
+  void parallel_run(int n, bool parallel, const RunControl* rc, Fn&& fn) {
+    auto dispatch = [rc, &fn](int i) {
+      fn(i, rc != nullptr && rc->tripped());
+    };
+    if (parallel) {
+      pool_.parallel_run(n, dispatch);
+    } else {
+      for (int i = 0; i < n; ++i) dispatch(i);
+    }
+  }
 
   // RAII lease of a scratch block; returns it to the context on destruction.
   class ScratchLease {

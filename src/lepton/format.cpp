@@ -119,31 +119,42 @@ std::vector<std::uint8_t> serialize_container(
   return s.take();
 }
 
-ParsedContainer parse_container(std::span<const std::uint8_t> bytes) {
-  util::Deserializer d(bytes);
-  if (d.u8() != kMagic0 || d.u8() != kMagic1) {
-    fail(ExitCode::kNotAnImage, "bad magic");
-  }
-  std::uint8_t version = d.u8();
-  if (version != kFormatVersion) {
-    // §6.7's "incompatible old version" incident: fail loudly, do not guess.
-    fail(ExitCode::kUnsupportedJpeg, "unsupported container version");
-  }
-  d.u8();  // flags (mirrored inside the payload)
-  std::uint32_t n_segments_outer = d.u32();
-  for (int i = 0; i < 12; ++i) d.u8();  // git revision
-  d.u32();                              // output size (redundant)
+// ---- incremental parser -----------------------------------------------------
 
-  auto zpayload = d.blob();
-  if (!d.ok()) fail(ExitCode::kNotAnImage, "truncated container");
+namespace {
+
+// Outer fixed prefix: magic(2) version(1) flags(1) n_segments(4)
+// revision(12) output-size(4) header-blob-length(4).
+constexpr std::size_t kOuterFixedBytes = 28;
+constexpr std::size_t kSectionHeadBytes = 5;  // [seg u8][len u32]
+
+std::uint32_t le32_at(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+}  // namespace
+
+util::ExitCode ContainerParser::fail(util::ExitCode code, const char* msg) {
+  state_ = State::kError;
+  error_ = code;
+  error_msg_ = msg;
+  return code;
+}
+
+void ContainerParser::on_header_blob_complete() {
   std::vector<std::uint8_t> payload;
-  if (!util::zlib_decompress({zpayload.data(), zpayload.size()}, payload)) {
+  if (!util::zlib_decompress({blob_.data(), blob_.size()}, payload)) {
     fail(ExitCode::kNotAnImage, "corrupt header payload");
+    return;
   }
+  blob_.clear();
+  blob_.shrink_to_fit();
 
-  ParsedContainer out;
   util::Deserializer q({payload.data(), payload.size()});
-  auto& h = out.header;
+  auto& h = header_;
   h.is_chunk = q.u8() != 0;
   h.file_total_size = q.u64();
   h.chunk_off = q.u64();
@@ -161,12 +172,15 @@ ParsedContainer parse_container(std::span<const std::uint8_t> bytes) {
   h.suffix = q.blob();
   if (h.prefix_off + h.prefix_len > h.jpeg_header.size()) {
     fail(ExitCode::kNotAnImage, "prefix range outside header");
+    return;
   }
   std::uint32_t n_segments = q.u32();
-  if (!q.ok() || n_segments != n_segments_outer || n_segments > kMaxSegments) {
+  if (!q.ok() || n_segments != n_segments_outer_ ||
+      n_segments > kMaxSegments) {
     fail(ExitCode::kNotAnImage, "segment count mismatch");
+    return;
   }
-  std::vector<std::uint32_t> arith_len(n_segments);
+  arith_len_.resize(n_segments);
   for (std::uint32_t i = 0; i < n_segments; ++i) {
     SegmentHeader seg;
     seg.start_row = q.u32();
@@ -174,37 +188,154 @@ ParsedContainer parse_container(std::span<const std::uint8_t> bytes) {
     seg.handover = get_handover(q);
     seg.out_len = q.u64();
     seg.prepend = q.blob();
-    arith_len[i] = q.u32();
+    arith_len_[i] = q.u32();
     if (!q.ok() || seg.end_row < seg.start_row) {
       fail(ExitCode::kNotAnImage, "corrupt segment header");
+      return;
     }
     h.segments.push_back(std::move(seg));
   }
+  arith_.resize(n_segments);
+  // Eager reservation is an optimization, not a promise: the declared
+  // lengths are attacker-controlled (4096 segments x 4 GiB each would be
+  // ~16 TiB), so cap the total reserved up front. Real containers fit the
+  // budget comfortably; anything larger grows with the bytes that are
+  // actually fed — which the section-overflow check bounds per segment.
+  std::size_t reserve_budget = 8u << 20;
+  for (std::uint32_t i = 0; i < n_segments; ++i) {
+    std::size_t r = std::min<std::size_t>(arith_len_[i], reserve_budget);
+    arith_[i].reserve(r);
+    reserve_budget -= r;
+  }
+  header_ready_ = true;
+}
 
-  // ---- de-interleave the arithmetic sections ----
-  out.arith.resize(n_segments);
-  for (std::uint32_t i = 0; i < n_segments; ++i) {
-    out.arith[i].reserve(arith_len[i]);
+void ContainerParser::maybe_complete() {
+  for (std::size_t i = 0; i < arith_.size(); ++i) {
+    if (arith_[i].size() != arith_len_[i]) return;
   }
-  while (d.remaining() > 0) {
-    std::uint8_t seg = d.u8();
-    std::uint32_t n = d.u32();
-    if (!d.ok() || seg >= n_segments) {
-      fail(ExitCode::kNotAnImage, "corrupt interleave section");
+  state_ = State::kComplete;
+}
+
+util::ExitCode ContainerParser::feed(std::span<const std::uint8_t> in) {
+  if (state_ == State::kError) return error_;
+  std::size_t i = 0;
+  util::ExitCode rc = ExitCode::kSuccess;
+  for (bool more = true; more && rc == ExitCode::kSuccess;) {
+    switch (state_) {
+      case State::kOuterHeader: {
+        while (pending_.size() < kOuterFixedBytes && i < in.size()) {
+          pending_.push_back(in[i++]);
+        }
+        // Classify as early as the bytes allow: a stream that is not a
+        // Lepton container (or is the §6.7 incompatible version) is
+        // rejected within its first three bytes, not at finish().
+        if (!pending_.empty() && pending_[0] != kMagic0) {
+          rc = fail(ExitCode::kNotAnImage, "bad magic");
+        } else if (pending_.size() >= 2 && pending_[1] != kMagic1) {
+          rc = fail(ExitCode::kNotAnImage, "bad magic");
+        } else if (pending_.size() >= 3 && pending_[2] != kFormatVersion) {
+          rc = fail(ExitCode::kUnsupportedJpeg,
+                    "unsupported container version");
+        } else if (pending_.size() < kOuterFixedBytes) {
+          more = false;  // need more input
+        } else {
+          n_segments_outer_ = le32_at(pending_, 4);
+          blob_len_ = le32_at(pending_, 24);
+          if (n_segments_outer_ > kMaxSegments) {
+            rc = fail(ExitCode::kNotAnImage, "segment count mismatch");
+          } else {
+            pending_.clear();
+            blob_.reserve(blob_len_ < (1u << 20) ? blob_len_ : (1u << 20));
+            state_ = State::kHeaderBlob;
+          }
+        }
+        break;
+      }
+      case State::kHeaderBlob: {
+        std::size_t take = std::min(blob_len_ - blob_.size(), in.size() - i);
+        blob_.insert(blob_.end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+                     in.begin() + static_cast<std::ptrdiff_t>(i + take));
+        i += take;
+        if (blob_.size() < blob_len_) {
+          more = false;
+        } else {
+          on_header_blob_complete();
+          if (state_ == State::kError) {
+            rc = error_;
+          } else {
+            state_ = State::kSectionHead;
+            maybe_complete();  // zero-payload containers have no sections
+          }
+        }
+        break;
+      }
+      case State::kSectionHead: {
+        while (pending_.size() < kSectionHeadBytes && i < in.size()) {
+          pending_.push_back(in[i++]);
+        }
+        if (pending_.size() < kSectionHeadBytes) {
+          more = false;
+        } else {
+          std::size_t seg = pending_[0];
+          std::uint32_t n = le32_at(pending_, 1);
+          if (seg >= arith_.size()) {
+            rc = fail(ExitCode::kNotAnImage, "corrupt interleave section");
+          } else if (arith_[seg].size() + n > arith_len_[seg]) {
+            rc = fail(ExitCode::kNotAnImage, "section overflow");
+          } else {
+            pending_.clear();
+            cur_seg_ = seg;
+            body_remaining_ = n;
+            state_ = State::kSectionBody;
+          }
+        }
+        break;
+      }
+      case State::kSectionBody: {
+        std::size_t take = std::min(body_remaining_, in.size() - i);
+        arith_[cur_seg_].insert(
+            arith_[cur_seg_].end(), in.begin() + static_cast<std::ptrdiff_t>(i),
+            in.begin() + static_cast<std::ptrdiff_t>(i + take));
+        i += take;
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) {
+          more = false;
+        } else {
+          state_ = State::kSectionHead;
+          maybe_complete();
+        }
+        break;
+      }
+      case State::kComplete: {
+        if (i < in.size()) {
+          rc = fail(ExitCode::kNotAnImage, "trailing garbage after container");
+        } else {
+          more = false;
+        }
+        break;
+      }
+      case State::kError:
+        rc = error_;
+        break;
     }
-    auto view = d.view(n);
-    if (!d.ok()) fail(ExitCode::kNotAnImage, "truncated section");
-    if (out.arith[seg].size() + n > arith_len[seg]) {
-      fail(ExitCode::kNotAnImage, "section overflow");
-    }
-    out.arith[seg].insert(out.arith[seg].end(), view.begin(), view.end());
   }
-  for (std::uint32_t i = 0; i < n_segments; ++i) {
-    if (out.arith[i].size() != arith_len[i]) {
-      fail(ExitCode::kNotAnImage, "arith stream truncated");
-    }
+  consumed_ += i;
+  return rc;
+}
+
+ParsedContainer parse_container(std::span<const std::uint8_t> bytes) {
+  ContainerParser p;
+  util::ExitCode code = p.feed(bytes);
+  if (code != ExitCode::kSuccess) {
+    throw jpegfmt::ParseError(code, p.error_message());
   }
-  return out;
+  if (!p.complete()) {
+    // The buffer ended before the bytes its own header promised: the
+    // whole-buffer equivalent of a connection cut mid-stream.
+    throw jpegfmt::ParseError(ExitCode::kShortRead, "container truncated");
+  }
+  return p.take();
 }
 
 }  // namespace lepton::core

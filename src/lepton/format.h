@@ -86,8 +86,92 @@ struct ParsedContainer {
   std::vector<std::vector<std::uint8_t>> arith;  // per segment
 };
 
-// Parses and validates a container. Throws jpegfmt::ParseError (classified
-// kNotAnImage / kImpossible) on structurally hostile input.
+// Incremental container parser: accepts the container in arbitrary-sized
+// slices, as the bytes arrive from a socket (§3.4 — decode starts before a
+// 4-MiB chunk is fully fetched). The header becomes available as soon as
+// its bytes have arrived; arithmetic sections are de-interleaved into
+// per-segment streams on the fly, so a caller can begin decoding a segment
+// the moment its stream is complete.
+//
+// This is the only container-parsing code path: the whole-buffer
+// parse_container() below is a feed-everything wrapper.
+class ContainerParser {
+ public:
+  // Consumes the next input slice. Returns kSuccess while the stream is
+  // still plausible (possibly incomplete); any classified failure is sticky
+  // and every later call returns it again. Structural corruption is
+  // kNotAnImage / kUnsupportedJpeg exactly as the whole-buffer parser
+  // classifies it; feeding past the end of a complete container is
+  // kNotAnImage ("trailing garbage").
+  util::ExitCode feed(std::span<const std::uint8_t> bytes);
+
+  util::ExitCode error() const { return error_; }
+  const char* error_message() const { return error_msg_; }
+
+  // True once the zlib header payload has arrived and parsed; header() and
+  // the per-segment stream accessors are valid from then on.
+  bool header_ready() const { return header_ready_; }
+  const ContainerHeader& header() const { return header_; }
+
+  // True once every segment's declared arithmetic bytes have arrived.
+  bool complete() const { return state_ == State::kComplete; }
+
+  // Per-segment stream progress (valid once header_ready()).
+  std::size_t segment_count() const { return header_.segments.size(); }
+  bool segment_complete(std::size_t seg) const {
+    return arith_[seg].size() == arith_len_[seg];
+  }
+  const std::vector<std::uint8_t>& segment_arith(std::size_t seg) const {
+    return arith_[seg];
+  }
+  const std::vector<std::vector<std::uint8_t>>& arith() const {
+    return arith_;
+  }
+
+  // Total bytes consumed so far (diagnostics: "truncated at byte N").
+  std::uint64_t bytes_consumed() const { return consumed_; }
+
+  // Moves the parsed result out (call when complete()).
+  ParsedContainer take() {
+    return {std::move(header_), std::move(arith_)};
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kOuterHeader,   // magic .. output size + header blob length
+    kHeaderBlob,    // accumulating the zlib header payload
+    kSectionHead,   // [seg u8][len u32] of the next interleaved section
+    kSectionBody,   // bytes of the current section
+    kComplete,
+    kError,
+  };
+
+  util::ExitCode fail(util::ExitCode code, const char* msg);
+  void on_header_blob_complete();
+  void maybe_complete();
+
+  State state_ = State::kOuterHeader;
+  util::ExitCode error_ = util::ExitCode::kSuccess;
+  const char* error_msg_ = "";
+
+  std::vector<std::uint8_t> pending_;  // partial fixed-size unit
+  std::vector<std::uint8_t> blob_;     // zlib header payload
+  std::size_t blob_len_ = 0;
+  std::uint32_t n_segments_outer_ = 0;
+
+  bool header_ready_ = false;
+  ContainerHeader header_;
+  std::vector<std::uint32_t> arith_len_;
+  std::vector<std::vector<std::uint8_t>> arith_;
+  std::size_t cur_seg_ = 0;
+  std::size_t body_remaining_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+// Parses and validates a complete container. Throws jpegfmt::ParseError
+// (classified kNotAnImage / kImpossible for structurally hostile input,
+// kShortRead for truncation) — a feed-everything wrapper over
+// ContainerParser.
 ParsedContainer parse_container(std::span<const std::uint8_t> bytes);
 
 // True if the bytes begin with the Lepton magic.

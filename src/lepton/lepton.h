@@ -2,8 +2,19 @@
 //
 // Lepton losslessly re-compresses baseline JPEG files by replacing their
 // Huffman entropy layer with a multithreaded adaptive arithmetic coder
-// (Horn et al., NSDI 2017). The API mirrors how the production system is
-// used:
+// (Horn et al., NSDI 2017). The API is organized around *streaming
+// sessions* — the paper's deployment is network-paced (§3.4): bytes arrive
+// in arbitrary slices, decode begins before a chunk is fully fetched, and
+// every conversion runs under a cancellable deadline (§5.7):
+//
+//   lepton::VectorSink out;
+//   lepton::DecodeSession s(out);                    // session.h
+//   s.control().set_deadline_after(std::chrono::milliseconds(50));
+//   while (net.read(slice)) s.feed(slice);           // any slice sizes
+//   auto code = s.finish();                          // §6.2 classification
+//
+// The familiar whole-buffer forms are thin wrappers over sessions (one
+// codec driver, two calling conventions):
 //
 //   lepton::EncodeOptions opt;                       // threads, 1-way, ...
 //   auto r = lepton::encode_jpeg(jpeg_bytes, opt);   // -> .lep container
@@ -21,10 +32,14 @@
 //
 // Every failure is classified with the production exit-code taxonomy
 // (util::ExitCode, §6.2); nothing in this API throws on hostile input.
+// Truncated input streams classify as kShortRead, cancelled or expired
+// sessions as kTimeout.
 #pragma once
 
 #include "lepton/chunk.h"
 #include "lepton/codec.h"
 #include "lepton/context.h"
+#include "lepton/run_control.h"
+#include "lepton/session.h"
 #include "lepton/store.h"
 #include "lepton/verify.h"

@@ -2,16 +2,41 @@
 
 #include <sys/stat.h>
 
+#include <chrono>
+
+#include "lepton/context.h"
 #include "util/md5.h"
 #include "util/zlib_util.h"
 
 namespace lepton {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void TransparentStore::set_shutoff_file(std::string path) {
+  shutoff_file_ = std::move(path);
+  shutoff_checked_ns_.store(kNeverChecked, std::memory_order_release);
+}
 
 bool TransparentStore::shutoff_active() const {
-  if (shutoff_) return true;
+  if (shutoff_.load(std::memory_order_relaxed)) return true;
   if (shutoff_file_.empty()) return false;
+  std::int64_t now = steady_now_ns();
+  std::int64_t last = shutoff_checked_ns_.load(std::memory_order_acquire);
+  if (last != kNeverChecked && now - last < kShutoffTtlNs) {
+    return shutoff_cached_.load(std::memory_order_acquire);
+  }
   struct stat st{};
-  return ::stat(shutoff_file_.c_str(), &st) == 0;
+  bool on = ::stat(shutoff_file_.c_str(), &st) == 0;
+  shutoff_cached_.store(on, std::memory_order_release);
+  shutoff_checked_ns_.store(now, std::memory_order_release);
+  return on;
 }
 
 StoredObject TransparentStore::put(std::span<const std::uint8_t> file,
@@ -28,10 +53,18 @@ StoredObject TransparentStore::put(std::span<const std::uint8_t> file,
       // if memory is corrupted after this point, get() will notice.
       std::string md5 = util::Md5::hex_digest({enc.data.data(),
                                                enc.data.size()});
-      Result rt = decode_lepton({enc.data.data(), enc.data.size()});
+      VectorSink rt_sink;
+      DecodeStats rt_stats;
+      util::ExitCode rt_code =
+          decode_lepton({enc.data.data(), enc.data.size()}, rt_sink, {},
+                        default_context(), &rt_stats);
+      // A decode that overran or under-consumed its payload is suspect even
+      // when the bytes compare equal — same posture as the qualification
+      // gate (verify.cpp): consumption facts are part of the round trip.
       local.roundtrip_ok =
-          rt.ok() && rt.data.size() == file.size() &&
-          std::equal(rt.data.begin(), rt.data.end(), file.begin());
+          rt_code == util::ExitCode::kSuccess && rt_stats.payload_exhausted &&
+          rt_sink.data.size() == file.size() &&
+          std::equal(rt_sink.data.begin(), rt_sink.data.end(), file.begin());
       if (local.roundtrip_ok) {
         obj.kind = StorageKind::kLepton;
         obj.payload = std::move(enc.data);
@@ -57,7 +90,8 @@ StoredObject TransparentStore::put(std::span<const std::uint8_t> file,
   return obj;
 }
 
-Result TransparentStore::get(const StoredObject& obj) const {
+Result TransparentStore::get(const StoredObject& obj,
+                             DecodeStats* decode_stats) const {
   Result r;
   if (util::Md5::hex_digest({obj.payload.data(), obj.payload.size()}) !=
       obj.md5_hex) {
@@ -66,7 +100,22 @@ Result TransparentStore::get(const StoredObject& obj) const {
     return r;
   }
   if (obj.kind == StorageKind::kLepton) {
-    return decode_lepton({obj.payload.data(), obj.payload.size()});
+    VectorSink sink;
+    DecodeStats stats;
+    r.code = decode_lepton({obj.payload.data(), obj.payload.size()}, sink, {},
+                           default_context(), &stats);
+    if (decode_stats != nullptr) *decode_stats = stats;
+    if (r.code == util::ExitCode::kSuccess && !stats.payload_exhausted) {
+      // The stream decoded "successfully" but consumed more or fewer bytes
+      // than it contains — truncated or padded payload that happened to
+      // produce the right output length. put() admitted an exactly-consumed
+      // stream, so this is corruption; do not hand the bytes out silently.
+      r.code = util::ExitCode::kShortRead;
+      r.message = "payload consumption mismatch on stored object";
+      return r;
+    }
+    if (r.code == util::ExitCode::kSuccess) r.data = std::move(sink.data);
+    return r;
   }
   if (!util::zlib_decompress({obj.payload.data(), obj.payload.size()},
                              r.data)) {

@@ -6,9 +6,17 @@
 // corruption between check and write is detectable; everything Lepton
 // rejects (or that fails the round trip) is stored with Deflate instead.
 // "We have never been unable to decode a stored file" rests on this gate.
+//
+// Both put() and get() are thin wrappers over the streaming sessions
+// (session.h) via encode_jpeg/decode_lepton, and both consume the decoder's
+// payload-consumption facts: a decode whose arithmetic payload overran (or
+// was left unconsumed) is treated as corrupt even when the byte count came
+// out right.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -36,28 +44,62 @@ class TransparentStore {
  public:
   explicit TransparentStore(EncodeOptions opts = {}) : opts_(opts) {}
 
+  TransparentStore(const TransparentStore&) = delete;
+  TransparentStore& operator=(const TransparentStore&) = delete;
+
   // Compresses and admits a file. Never fails: the Deflate fallback always
   // succeeds. `stats` (optional) reports what happened, in §6.2 terms.
+  // Thread-safe: concurrent put() calls on one store are supported (the
+  // store holds no per-call state beyond the shutoff cache below).
   StoredObject put(std::span<const std::uint8_t> file,
                    PutStats* stats = nullptr) const;
 
-  // Retrieves the original bytes. Returns a classified error if the payload
-  // is corrupt (payload md5 mismatch or failed decode).
-  Result get(const StoredObject& obj) const;
+  // Retrieves the original bytes. Returns a classified error if the
+  // payload is corrupt: md5 mismatch, failed decode, or a "successful"
+  // Lepton decode whose arithmetic payload overran / was not exhausted
+  // (classified kShortRead — the §5.7 posture that consumption facts are
+  // part of correctness). `decode_stats` (optional) receives the raw facts
+  // for Lepton-stored objects.
+  Result get(const StoredObject& obj, DecodeStats* decode_stats = nullptr) const;
 
   // Emergency shutoff (§5.7): when tripped, put() skips Lepton entirely and
   // goes straight to Deflate. The production switch is a file in /dev/shm
   // checked before compressing each chunk; this is the same check as a
   // process-local flag plus an optional file path.
-  void set_shutoff(bool on) { shutoff_ = on; }
-  bool shutoff() const { return shutoff_; }
-  void set_shutoff_file(std::string path) { shutoff_file_ = std::move(path); }
+  //
+  // Semantics of shutoff_active():
+  //  * The process-local flag (set_shutoff) takes effect immediately.
+  //  * The file check is cached for kShutoffTtl: put() at fleet rates must
+  //    not stat() per chunk, and the §5.7 guarantee is only "compression
+  //    stops fleet-wide within ~30 seconds", so a sub-second-stale answer
+  //    is well inside contract.
+  //  * Safe under concurrent put(): the cache is a pair of atomics.
+  //    Racing threads may redundantly stat() once each at refresh time and
+  //    may observe the flip up to kShutoffTtl late — never a torn value.
+  //  * set_shutoff_file() invalidates the cache (the next check stats).
+  void set_shutoff(bool on) {
+    shutoff_.store(on, std::memory_order_relaxed);
+  }
+  bool shutoff() const { return shutoff_.load(std::memory_order_relaxed); }
+  void set_shutoff_file(std::string path);
   bool shutoff_active() const;
+
+  static constexpr std::int64_t kShutoffTtlNs = 250'000'000;  // 250 ms
 
  private:
   EncodeOptions opts_;
-  bool shutoff_ = false;
+  // Atomic: the emergency path is a watchdog thread flipping the switch
+  // while worker threads are inside put().
+  std::atomic<bool> shutoff_{false};
   std::string shutoff_file_;
+  // Cached file-stat result: last check time (steady-clock ns; kNeverChecked
+  // forces a stat) and the cached answer. Ordering: the answer is published
+  // before the timestamp, so a reader that sees a fresh timestamp sees the
+  // matching answer.
+  static constexpr std::int64_t kNeverChecked =
+      std::numeric_limits<std::int64_t>::min();
+  mutable std::atomic<std::int64_t> shutoff_checked_ns_{kNeverChecked};
+  mutable std::atomic<bool> shutoff_cached_{false};
 };
 
 }  // namespace lepton

@@ -26,6 +26,7 @@ enum class ExitCode : std::uint8_t {
   kRoundtripFailed,     // decode(encode(x)) != x; file not admitted
   kOomKill,             // host OOM-killed the conversion (simulator)
   kOperatorInterrupt,   // human interrupted the run (simulator)
+  kShortRead,           // input stream ended before the data it promised
   kCount
 };
 
@@ -47,6 +48,7 @@ constexpr std::string_view exit_code_name(ExitCode c) {
     case ExitCode::kRoundtripFailed: return "Roundtrip failed";
     case ExitCode::kOomKill: return "OOM kill";
     case ExitCode::kOperatorInterrupt: return "Operator interrupt";
+    case ExitCode::kShortRead: return "Short read";
     case ExitCode::kCount: break;
   }
   return "?";

@@ -1,0 +1,574 @@
+// Streaming-session tests (session.h): slice-equivalence against the
+// whole-buffer path (fuzzed partitions, 1-byte feeds, truncation at
+// structural boundaries), the kShortRead/kTimeout classification rules,
+// early prefix emission, per-session deadline isolation on a shared
+// CodecContext, the resumable JPEG header probe, and the satellite
+// plumbing (chunk DecodeStats, store shutoff TTL).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+#include "corpus/corpus.h"
+#include "jpeg/jfif_builder.h"
+#include "lepton/lepton.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/zlib_util.h"
+
+namespace jf = lepton::jpegfmt;
+using lepton::util::ExitCode;
+
+namespace {
+
+jf::RasterImage photo_like(int w, int h, std::uint64_t seed) {
+  jf::RasterImage img;
+  img.width = w;
+  img.height = h;
+  img.channels = 3;
+  img.pixels.resize(static_cast<std::size_t>(w) * h * 3);
+  lepton::util::Rng rng(seed);
+  double cx = w * rng.uniform(0.2, 0.8), cy = h * rng.uniform(0.2, 0.8);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double d = std::sqrt((x - cx) * (x - cx) + (y - cy) * (y - cy));
+      for (int c = 0; c < 3; ++c) {
+        double v = 110 + 70 * std::sin(d / (10.0 + 5 * c)) +
+                   0.3 * static_cast<double>(rng.below(30));
+        img.pixels[(static_cast<std::size_t>(y) * w + x) * 3 + c] =
+            static_cast<std::uint8_t>(v < 0 ? 0 : (v > 255 ? 255 : v));
+      }
+    }
+  }
+  return img;
+}
+
+std::vector<std::uint8_t> make_jpeg(int w, int h, std::uint64_t seed) {
+  return jf::build_jfif(photo_like(w, h, seed), {});
+}
+
+std::vector<std::uint8_t> encode_or_die(std::span<const std::uint8_t> jpeg,
+                                        int threads) {
+  lepton::EncodeOptions opt;
+  opt.force_threads = threads;
+  auto enc = lepton::encode_jpeg(jpeg, opt);
+  EXPECT_TRUE(enc.ok()) << enc.message;
+  return std::move(enc.data);
+}
+
+// Feeds `bytes` to a fresh DecodeSession in the given slice sizes.
+ExitCode stream_decode(std::span<const std::uint8_t> bytes,
+                       const std::vector<std::size_t>& slices,
+                       std::vector<std::uint8_t>* out,
+                       lepton::DecodeStats* stats = nullptr,
+                       lepton::CodecContext* ctx = nullptr) {
+  lepton::VectorSink sink;
+  lepton::DecodeSession session(sink, {}, ctx);
+  std::size_t off = 0;
+  for (std::size_t n : slices) {
+    if (n > bytes.size() - off) n = bytes.size() - off;
+    if (session.feed(bytes.subspan(off, n)) != ExitCode::kSuccess) break;
+    off += n;
+  }
+  // Whatever a partition did not cover arrives as one final slice.
+  if (off < bytes.size()) session.feed(bytes.subspan(off));
+  ExitCode code = session.finish(stats);
+  *out = std::move(sink.data);
+  return code;
+}
+
+std::vector<std::size_t> fuzz_partition(std::size_t total,
+                                        lepton::util::Rng& rng) {
+  std::vector<std::size_t> slices;
+  std::size_t covered = 0;
+  while (covered < total) {
+    std::size_t n;
+    switch (rng.below(4)) {
+      case 0: n = 1; break;
+      case 1: n = 1 + rng.below(7); break;
+      case 2: n = 1 + rng.below(600); break;
+      default: n = 1 + rng.below(total); break;
+    }
+    slices.push_back(n);
+    covered += n;
+  }
+  return slices;
+}
+
+}  // namespace
+
+// ---- slice equivalence ------------------------------------------------------
+
+TEST(DecodeSession, FuzzedPartitionsMatchWholeBuffer) {
+  for (int threads : {1, 4}) {
+    auto file = make_jpeg(192, 160, 900 + threads);
+    auto lep = encode_or_die({file.data(), file.size()}, threads);
+
+    lepton::DecodeStats whole_stats;
+    lepton::VectorSink whole;
+    ASSERT_EQ(lepton::decode_lepton({lep.data(), lep.size()}, whole, {},
+                                    lepton::default_context(), &whole_stats),
+              ExitCode::kSuccess);
+    ASSERT_EQ(whole.data, file);
+    EXPECT_TRUE(whole_stats.payload_exhausted);
+
+    lepton::util::Rng rng(77 + static_cast<std::uint64_t>(threads));
+    for (int trial = 0; trial < 8; ++trial) {
+      auto slices = fuzz_partition(lep.size(), rng);
+      std::vector<std::uint8_t> out;
+      lepton::DecodeStats stats;
+      ASSERT_EQ(stream_decode({lep.data(), lep.size()}, slices, &out, &stats),
+                ExitCode::kSuccess)
+          << "threads=" << threads << " trial=" << trial;
+      EXPECT_EQ(out, file) << "partition must not change the bytes";
+      EXPECT_EQ(stats.payload_exhausted, whole_stats.payload_exhausted);
+      EXPECT_EQ(stats.payload_overrun, whole_stats.payload_overrun);
+      EXPECT_EQ(stats.payload_bytes, whole_stats.payload_bytes);
+      EXPECT_EQ(stats.payload_consumed, whole_stats.payload_consumed);
+    }
+  }
+}
+
+TEST(DecodeSession, OneByteFeedsMatchWholeBuffer) {
+  auto file = make_jpeg(96, 96, 901);
+  auto lep = encode_or_die({file.data(), file.size()}, 2);
+  std::vector<std::size_t> ones(lep.size(), 1);
+  std::vector<std::uint8_t> out;
+  ASSERT_EQ(stream_decode({lep.data(), lep.size()}, ones, &out),
+            ExitCode::kSuccess);
+  EXPECT_EQ(out, file);
+}
+
+TEST(EncodeSession, FuzzedPartitionsMatchWholeBuffer) {
+  auto file = make_jpeg(200, 152, 902);
+  lepton::EncodeOptions opt;
+  opt.force_threads = 4;
+  auto whole = lepton::encode_jpeg({file.data(), file.size()}, opt);
+  ASSERT_TRUE(whole.ok());
+
+  lepton::util::Rng rng(42);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto slices = trial == 0 ? std::vector<std::size_t>(file.size(), 1)
+                             : fuzz_partition(file.size(), rng);
+    lepton::EncodeSession session(opt);
+    std::size_t off = 0;
+    for (std::size_t n : slices) {
+      if (n > file.size() - off) n = file.size() - off;
+      ASSERT_EQ(session.feed({file.data() + off, n}), ExitCode::kSuccess);
+      off += n;
+    }
+    lepton::VectorSink sink;
+    ASSERT_EQ(session.finish(sink), ExitCode::kSuccess);
+    EXPECT_EQ(sink.data, whole.data)
+        << "encode must be partition-independent (trial " << trial << ")";
+  }
+}
+
+// ---- truncation and hostile input ------------------------------------------
+
+TEST(DecodeSession, TruncationAtEveryBoundaryIsShortRead) {
+  auto file = make_jpeg(64, 64, 903);
+  auto lep = encode_or_die({file.data(), file.size()}, 2);
+  // Every cut in the structural front matter, then a stride through the
+  // payload (a full per-byte sweep re-decodes eager segments per cut).
+  std::size_t stride = lep.size() > 2048 ? lep.size() / 512 : 1;
+  for (std::size_t cut = 0; cut < lep.size();
+       cut += (cut < 64 ? 1 : stride)) {
+    lepton::VectorSink sink;
+    lepton::DecodeSession session(sink);
+    session.feed({lep.data(), cut});
+    EXPECT_EQ(session.finish(), ExitCode::kShortRead) << "cut=" << cut;
+  }
+  // The whole-buffer wrapper classifies identically.
+  for (std::size_t cut : {std::size_t{3}, lep.size() / 2, lep.size() - 1}) {
+    EXPECT_EQ(lepton::decode_lepton({lep.data(), cut}).code,
+              ExitCode::kShortRead);
+  }
+}
+
+TEST(DecodeSession, HostileStreamsClassifyLikeOneShot) {
+  auto file = make_jpeg(96, 96, 904);
+  auto lep = encode_or_die({file.data(), file.size()}, 2);
+  lepton::util::Rng rng(5);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto mutated = lep;
+    for (int i = 0; i < 6; ++i) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<std::uint8_t>(rng.below(256));
+    }
+    auto one_shot = lepton::decode_lepton({mutated.data(), mutated.size()});
+    auto slices = fuzz_partition(mutated.size(), rng);
+    std::vector<std::uint8_t> out;
+    ExitCode sliced =
+        stream_decode({mutated.data(), mutated.size()}, slices, &out);
+    EXPECT_EQ(sliced, one_shot.code)
+        << "classification must be partition-independent (trial " << trial
+        << ")";
+    if (sliced == ExitCode::kSuccess) EXPECT_EQ(out, one_shot.data);
+  }
+}
+
+TEST(DecodeSession, NonLeptonStreamRejectedAtFirstBytes) {
+  lepton::VectorSink sink;
+  lepton::DecodeSession session(sink);
+  std::uint8_t junk[2] = {'P', 'K'};
+  EXPECT_EQ(session.feed({junk, 1}), ExitCode::kNotAnImage)
+      << "a non-Lepton stream dies on its first byte, not at finish";
+  EXPECT_EQ(session.finish(), ExitCode::kNotAnImage);
+}
+
+// ---- streaming behaviour ----------------------------------------------------
+
+TEST(DecodeSession, PrefixEmittedBeforePayloadArrives) {
+  auto file = make_jpeg(256, 256, 905);
+  auto lep = encode_or_die({file.data(), file.size()}, 4);
+  lepton::VectorSink sink;
+  lepton::DecodeSession session(sink);
+  std::size_t fed_at_first_output = 0;
+  for (std::size_t off = 0; off < lep.size(); ++off) {
+    ASSERT_EQ(session.feed({lep.data() + off, 1}), ExitCode::kSuccess);
+    if (fed_at_first_output == 0 && !sink.data.empty()) {
+      fed_at_first_output = off + 1;
+    }
+  }
+  ASSERT_EQ(session.finish(), ExitCode::kSuccess);
+  EXPECT_EQ(sink.data, file);
+  ASSERT_GT(fed_at_first_output, 0u);
+  EXPECT_LT(fed_at_first_output, lep.size() / 2)
+      << "the verbatim JPEG-header prefix must stream out while the "
+         "arithmetic payload is still in flight";
+}
+
+TEST(DecodeSession, EagerSegmentsDecodeWhileTailInFlight) {
+  auto file = make_jpeg(256, 256, 906);
+  auto lep = encode_or_die({file.data(), file.size()}, 4);
+  lepton::VectorSink sink;
+  lepton::DecodeSession session(sink);
+  // Hold back the final slice: some segments' streams are complete and must
+  // have been decoded eagerly before finish().
+  std::size_t hold = 64;
+  ASSERT_LT(hold, lep.size());
+  ASSERT_EQ(session.feed({lep.data(), lep.size() - hold}), ExitCode::kSuccess);
+  std::size_t decoded_mid_stream = session.segments_decoded();
+  ASSERT_EQ(session.feed({lep.data() + lep.size() - hold, hold}),
+            ExitCode::kSuccess);
+  ASSERT_EQ(session.finish(), ExitCode::kSuccess);
+  EXPECT_EQ(sink.data, file);
+  EXPECT_GT(decoded_mid_stream, 0u)
+      << "segments with complete streams decode before the container ends";
+}
+
+TEST(DecodeSession, TruncatedFinishStillReportsEagerConsumptionFacts) {
+  auto file = make_jpeg(256, 256, 914);
+  auto lep = encode_or_die({file.data(), file.size()}, 4);
+  lepton::VectorSink sink;
+  lepton::DecodeSession session(sink);
+  // Everything but the tail: earlier segments complete and decode eagerly,
+  // the last stream stays open.
+  ASSERT_EQ(session.feed({lep.data(), lep.size() - 16}), ExitCode::kSuccess);
+  ASSERT_GT(session.segments_decoded(), 0u);
+  lepton::DecodeStats stats;
+  EXPECT_EQ(session.finish(&stats), ExitCode::kShortRead);
+  EXPECT_GT(stats.payload_consumed, 0u)
+      << "failure paths must not discard what the eager segments learned";
+}
+
+TEST(Sessions, LateFeedDoesNotPoisonFinishedSession) {
+  auto file = make_jpeg(96, 96, 915);
+  auto lep = encode_or_die({file.data(), file.size()}, 2);
+  lepton::VectorSink sink;
+  lepton::DecodeSession session(sink);
+  session.feed({lep.data(), lep.size()});
+  ASSERT_EQ(session.finish(), ExitCode::kSuccess);
+  std::uint8_t stray = 0;
+  EXPECT_EQ(session.feed({&stray, 1}), ExitCode::kImpossible);
+  EXPECT_EQ(session.finish(), ExitCode::kSuccess)
+      << "a stray late slice must not rewrite a finished session's outcome";
+
+  lepton::EncodeSession enc;
+  enc.feed({file.data(), file.size()});
+  lepton::VectorSink out;
+  ASSERT_EQ(enc.finish(out), ExitCode::kSuccess);
+  EXPECT_EQ(enc.feed({&stray, 1}), ExitCode::kImpossible);
+  EXPECT_EQ(enc.finish(out), ExitCode::kSuccess);
+}
+
+TEST(ContainerParser, HostileArithLengthsDoNotReserveUnbounded) {
+  // A few-hundred-KB container header declaring 4096 segments of 4 GiB
+  // each must not make the parser reserve terabytes before the decode
+  // gate ever runs; reservation is budget-capped and real memory grows
+  // only with bytes actually fed.
+  lepton::util::Serializer p;
+  p.u8(0);               // is_chunk
+  p.u64(1000);           // file_total_size
+  p.u64(0);              // chunk_off
+  p.u64(1000);           // chunk_len
+  p.u64(100);            // scan_begin_abs
+  p.u8(1);               // pad_bit
+  p.u32(0);              // rst_count
+  p.u8(0);               // model flags
+  std::vector<std::uint8_t> jpeg_header(16, 0x11);
+  p.blob({jpeg_header.data(), jpeg_header.size()});
+  p.u64(0);              // prefix_off
+  p.u64(0);              // prefix_len
+  p.blob({});            // suffix
+  constexpr std::uint32_t kSegs = 4096;
+  p.u32(kSegs);
+  for (std::uint32_t i = 0; i < kSegs; ++i) {
+    p.u32(0);            // start_row
+    p.u32(1);            // end_row
+    p.u64(0);            // handover byte_off
+    p.u8(0);             // bit_off
+    p.u8(0);             // partial_byte
+    for (int k = 0; k < 4; ++k) p.i16(0);  // dc_pred
+    p.u32(0);            // mcus_done
+    p.u32(0);            // rst_seen
+    p.u64(1);            // out_len
+    p.blob({});          // prepend
+    p.u32(0xFFFFFFFFu);  // declared arith length: 4 GiB
+  }
+  auto zpayload =
+      lepton::util::zlib_compress({p.data().data(), p.size()}, 6);
+
+  lepton::util::Serializer s;
+  s.u8(0xCF);
+  s.u8(0x84);
+  s.u8(2);               // kFormatVersion
+  s.u8(0);               // flags
+  s.u32(kSegs);
+  for (int i = 0; i < 12; ++i) s.u8(0);  // revision
+  s.u32(1000);           // output size
+  s.blob({zpayload.data(), zpayload.size()});
+  auto bytes = s.take();
+
+  lepton::core::ContainerParser parser;
+  EXPECT_EQ(parser.feed({bytes.data(), bytes.size()}), ExitCode::kSuccess);
+  EXPECT_TRUE(parser.header_ready());
+  EXPECT_FALSE(parser.complete());
+  std::size_t reserved = 0;
+  for (std::uint32_t i = 0; i < kSegs; ++i) {
+    reserved += parser.segment_arith(i).capacity();
+  }
+  EXPECT_LT(reserved, 16u << 20)
+      << "eager reservation must be budget-capped against hostile headers";
+}
+
+// ---- cancellation and deadlines --------------------------------------------
+
+TEST(DecodeSession, CancellationClassifiesTimeout) {
+  auto file = make_jpeg(96, 96, 907);
+  auto lep = encode_or_die({file.data(), file.size()}, 2);
+  lepton::VectorSink sink;
+  lepton::DecodeSession session(sink);
+  std::size_t half = lep.size() / 2;
+  ASSERT_EQ(session.feed({lep.data(), half}), ExitCode::kSuccess);
+  session.control().request_cancel();
+  EXPECT_EQ(session.feed({lep.data() + half, lep.size() - half}),
+            ExitCode::kTimeout);
+  EXPECT_EQ(session.finish(), ExitCode::kTimeout);
+}
+
+TEST(EncodeSession, CancellationClassifiesTimeout) {
+  auto file = make_jpeg(96, 96, 908);
+  lepton::EncodeSession session;
+  ASSERT_EQ(session.feed({file.data(), file.size()}), ExitCode::kSuccess);
+  session.control().request_cancel();
+  lepton::VectorSink sink;
+  EXPECT_EQ(session.finish(sink), ExitCode::kTimeout);
+  EXPECT_TRUE(sink.data.empty());
+}
+
+TEST(Sessions, DeadlineAbortsAllSegmentsButSparesOtherSessions) {
+  // Two sessions share one CodecContext. Session A's deadline trips while
+  // its segments are mid-decode; every segment of A stops with kTimeout.
+  // Session B, running concurrently on the same pool, is untouched.
+  auto file = lepton::corpus::jpeg_of_size(300 << 10, 909);
+  lepton::EncodeOptions eopt;
+  eopt.force_threads = 8;
+  auto enc = lepton::encode_jpeg({file.data(), file.size()}, eopt);
+  ASSERT_TRUE(enc.ok());
+  auto& lep = enc.data;
+
+  lepton::CodecContext ctx(4);
+
+  lepton::VectorSink sink_a;
+  lepton::DecodeSession a(sink_a, {}, &ctx);
+  ASSERT_EQ(a.feed({lep.data(), lep.size()}), ExitCode::kSuccess);
+  // Deadline far shorter than the ~tens-of-ms this decode needs: it is set
+  // before finish() and fires while segment workers are in their MCU-row
+  // loops.
+  a.control().set_deadline_after(std::chrono::milliseconds(2));
+
+  ExitCode code_b = ExitCode::kImpossible;
+  std::vector<std::uint8_t> out_b;
+  std::thread t([&] {
+    lepton::VectorSink sink_b;
+    lepton::DecodeSession b(sink_b, {}, &ctx);
+    b.feed({lep.data(), lep.size()});
+    code_b = b.finish();
+    out_b = std::move(sink_b.data);
+  });
+
+  EXPECT_EQ(a.finish(), ExitCode::kTimeout);
+  t.join();
+  EXPECT_EQ(code_b, ExitCode::kSuccess)
+      << "a tripped session must not poison its neighbours";
+  EXPECT_EQ(out_b, file);
+
+  // The shared context still works for session A's owner afterwards.
+  lepton::VectorSink sink_c;
+  lepton::DecodeSession c(sink_c, {}, &ctx);
+  c.feed({lep.data(), lep.size()});
+  EXPECT_EQ(c.finish(), ExitCode::kSuccess);
+  EXPECT_EQ(sink_c.data, file);
+}
+
+TEST(EncodeSession, DeadlineMidEncodeClassifiesTimeout) {
+  auto file = lepton::corpus::jpeg_of_size(300 << 10, 910);
+  lepton::EncodeSession session;
+  ASSERT_EQ(session.feed({file.data(), file.size()}), ExitCode::kSuccess);
+  session.control().set_deadline_after(std::chrono::milliseconds(2));
+  lepton::VectorSink sink;
+  EXPECT_EQ(session.finish(sink), ExitCode::kTimeout);
+}
+
+// ---- header probe -----------------------------------------------------------
+
+TEST(EncodeSession, ProbeRejectsProgressiveMidUpload) {
+  auto file = make_jpeg(128, 128, 911);
+  for (std::size_t i = 0; i + 1 < file.size(); ++i) {
+    if (file[i] == 0xFF && file[i + 1] == 0xC0) {
+      file[i + 1] = 0xC2;
+      break;
+    }
+  }
+  lepton::EncodeSession session;
+  std::size_t rejected_at = 0;
+  ExitCode code = ExitCode::kSuccess;
+  for (std::size_t off = 0; off < file.size(); ++off) {
+    code = session.feed({file.data() + off, 1});
+    if (code != ExitCode::kSuccess) {
+      rejected_at = off + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(code, ExitCode::kProgressive);
+  ASSERT_GT(rejected_at, 0u);
+  EXPECT_LT(rejected_at, file.size() / 8)
+      << "the SOF marker is near the front; rejection must not wait for "
+         "the rest of the upload";
+}
+
+TEST(EncodeSession, ProbeRejectsNonJpegOnFirstByte) {
+  lepton::EncodeSession session;
+  std::uint8_t junk = 'x';
+  EXPECT_EQ(session.feed({&junk, 1}), ExitCode::kNotAnImage);
+}
+
+TEST(EncodeSession, ProbeMatchesOneShotClassification) {
+  // Corpus sweep: feeding byte-wise and finishing must classify exactly as
+  // the whole-buffer encoder, for admissible and inadmissible files alike.
+  lepton::corpus::CorpusOptions copts;
+  copts.valid_files = 3;
+  copts.min_bytes = 8 << 10;
+  copts.max_bytes = 24 << 10;
+  auto corpus = lepton::corpus::build_corpus(copts);
+  for (const auto& f : corpus) {
+    auto one_shot = lepton::encode_jpeg({f.bytes.data(), f.bytes.size()});
+    lepton::EncodeSession session;
+    for (std::size_t off = 0; off < f.bytes.size(); off += 997) {
+      std::size_t n = std::min<std::size_t>(997, f.bytes.size() - off);
+      if (session.feed({f.bytes.data() + off, n}) != ExitCode::kSuccess) break;
+    }
+    lepton::VectorSink sink;
+    ExitCode code = session.finish(sink);
+    EXPECT_EQ(code, one_shot.code) << f.label;
+    if (one_shot.ok()) EXPECT_EQ(sink.data, one_shot.data) << f.label;
+  }
+}
+
+// ---- satellite plumbing -----------------------------------------------------
+
+TEST(ChunkCodec, DecodeChunkThreadsDecodeStats) {
+  auto file = make_jpeg(256, 256, 912);
+  lepton::ChunkCodec cc({}, 16384);
+  auto set = cc.encode_chunks({file.data(), file.size()});
+  ASSERT_TRUE(set.ok());
+  for (const auto& ch : set.chunks) {
+    lepton::DecodeStats stats;
+    auto r = cc.decode_chunk({ch.data(), ch.size()}, {}, &stats);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(stats.payload_exhausted)
+        << "a well-formed chunk consumes its payload exactly";
+    EXPECT_FALSE(stats.payload_overrun);
+    EXPECT_EQ(stats.payload_consumed, stats.payload_bytes);
+  }
+}
+
+TEST(TransparentStore, GetThreadsDecodeStats) {
+  auto file = make_jpeg(96, 96, 913);
+  lepton::TransparentStore store;
+  auto obj = store.put({file.data(), file.size()});
+  ASSERT_EQ(obj.kind, lepton::StorageKind::kLepton);
+  lepton::DecodeStats stats;
+  auto back = store.get(obj, &stats);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.data, file);
+  EXPECT_TRUE(stats.payload_exhausted);
+}
+
+TEST(TransparentStore, ShutoffFileStatIsCachedWithTtl) {
+  std::string path = ::testing::TempDir() + "lepton_shutoff_ttl_test";
+  std::remove(path.c_str());
+  lepton::TransparentStore store;
+  store.set_shutoff_file(path);
+  EXPECT_FALSE(store.shutoff_active());
+
+  // Trip the switch: the cached "off" answer may persist up to the TTL —
+  // §5.7 only promises fleet-wide shutoff within seconds.
+  FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(lepton::TransparentStore::kShutoffTtlNs) +
+      std::chrono::milliseconds(50));
+  EXPECT_TRUE(store.shutoff_active()) << "flip visible after the TTL";
+
+  // Resetting the path invalidates the cache immediately.
+  std::remove(path.c_str());
+  store.set_shutoff_file(path);
+  EXPECT_FALSE(store.shutoff_active());
+
+  // Concurrent readers while the file flips: no torn states, and every
+  // answer is one of the two valid ones (thread-safety smoke under TSan/
+  // ASan builds).
+  FILE* g = std::fopen(path.c_str(), "w");
+  ASSERT_NE(g, nullptr);
+  std::fclose(g);
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&store] {
+      for (int k = 0; k < 1000; ++k) (void)store.shutoff_active();
+    });
+  }
+  for (auto& t : readers) t.join();
+  std::remove(path.c_str());
+}
+
+TEST(RunControl, DeadlineAndCancelSemantics) {
+  lepton::RunControl rc;
+  EXPECT_FALSE(rc.tripped());
+  rc.set_deadline_after(std::chrono::hours(1));
+  EXPECT_FALSE(rc.tripped());
+  rc.set_deadline(lepton::RunControl::Clock::now() -
+                  std::chrono::milliseconds(1));
+  EXPECT_TRUE(rc.tripped());
+  rc.clear_deadline();
+  EXPECT_FALSE(rc.tripped());
+  rc.request_cancel();
+  EXPECT_TRUE(rc.tripped());
+  rc.reset();
+  EXPECT_FALSE(rc.tripped());
+}
