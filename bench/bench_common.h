@@ -48,12 +48,26 @@ inline bool want_full(int argc, char** argv) {
   return false;
 }
 
-// Seconds elapsed running fn().
+// Seconds elapsed running fn(). Monotonic (steady_clock) — wall-clock
+// sources jump under NTP and invalidate short measurements.
 inline double time_s(const std::function<void()>& fn) {
   auto t0 = std::chrono::steady_clock::now();
   fn();
   auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Best-of-N timing: the minimum over `rounds` runs. The shared-vCPU boxes
+// these benches run on see multi-second CPU-steal episodes; the minimum is
+// the only statistic that converges on the machine's actual speed. All
+// benches report best-of-N through this helper so their numbers compare.
+inline double best_of(int rounds, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < rounds; ++r) {
+    double s = time_s(fn);
+    if (s < best) best = s;
+  }
+  return best;
 }
 
 inline double mbits(std::size_t bytes) { return bytes * 8.0 / 1e6; }

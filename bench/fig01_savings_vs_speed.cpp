@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       savings.add(100.0 * (1.0 - static_cast<double>(enc.data.size()) /
                                      f.bytes.size()));
       lepton::baselines::CodecResult dec;
-      double secs = bench::time_s([&] {
+      double secs = bench::best_of(3, [&] {
         dec = codec->decode({enc.data.data(), enc.data.size()});
       });
       if (dec.ok() && dec.data == f.bytes) {

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
     lepton::util::Percentiles enc_speed, dec_speed, enc_time, dec_time;
     for (const auto& f : bench::corpus(full)) {
       lepton::baselines::CodecResult enc;
-      double es = bench::time_s(
+      double es = bench::best_of(3,
           [&] { enc = codec->encode({f.bytes.data(), f.bytes.size()}); });
       in_bytes += f.bytes.size();
       if (!enc.ok()) {
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       enc_speed.add(bench::mbits(f.bytes.size()) / es);
       enc_time.add(es);
       lepton::baselines::CodecResult dec;
-      double ds = bench::time_s(
+      double ds = bench::best_of(3,
           [&] { dec = codec->decode({enc.data.data(), enc.data.size()}); });
       if (dec.ok()) {
         dec_speed.add(bench::mbits(f.bytes.size()) / ds);

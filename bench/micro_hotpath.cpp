@@ -1,32 +1,38 @@
 // Hot-path microbench: measures the primitives rewritten by the
-// performance overhaul (batched 64-bit bit reader, bool-coder adaptive and
-// literal paths) against in-binary per-bit reference implementations, plus
-// single-thread whole-codec encode/decode throughput through one warm
-// CodecContext on the generated corpus. Emits BENCH_hotpath.json so future
-// PRs have a perf trajectory (no google-benchmark dependency: plain
-// steady_clock with best-of-N).
+// performance overhauls (batched 64-bit bit reader, bool-coder adaptive and
+// literal paths) against in-binary per-bit reference implementations,
+// attributes the adaptive-model levers separately (bin cluster layout,
+// speculative multi-bit decode, SIMD Huffman re-encode, AVX2 IDCT pass),
+// and reports single-thread whole-codec encode/decode throughput through
+// one warm CodecContext on the generated corpus. Emits BENCH_hotpath.json
+// so future PRs have a perf trajectory (no google-benchmark dependency:
+// plain steady_clock with best-of-N via bench::best_of).
 //
 // Flags: --full for the larger corpus band, --out <path> for the JSON.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "coding/bool_coder.h"
+#include "coding/coder_ops.h"
+#include "jpeg/dct.h"
+#include "jpeg/parser.h"
+#include "jpeg/scan_decoder.h"
+#include "jpeg/scan_encoder.h"
 #include "jpeg/stuffed_bitio.h"
 #include "lepton/lepton.h"
+#include "model/model.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 
 namespace {
 
-double best_of(int rounds, const std::function<void()>& fn) {
-  double best = 1e100;
-  for (int r = 0; r < rounds; ++r) best = std::min(best, bench::time_s(fn));
-  return best;
-}
+using bench::best_of;
 
 // Optimizer barrier: forces `v` to be materialized (the measured loops
 // otherwise have no observable effect and get dead-code-eliminated).
@@ -133,6 +139,195 @@ BoolCoderRates bool_coder_rates() {
   return r;
 }
 
+// ---- lever 1: bin cluster layout -------------------------------------------
+//
+// Codes the same value stream through the clustered 7x7 bins (model.h
+// Coef77Bins) and through an in-binary replica of the pre-overhaul layout
+// (exp/sign/res in three separate model-scale arrays). Identical coding
+// work; only the bin addresses differ.
+
+struct ScatteredC77 {  // the layout the clusters replaced
+  lepton::coding::Branch exp[49][12][10][11];
+  lepton::coding::Branch sign[49][12];
+  lepton::coding::Branch res[49][12][10];
+};
+
+struct LayoutRates {
+  double clustered_mvals;
+  double scattered_mvals;
+};
+
+LayoutRates layout_lever() {
+  const int n = 1 << 19;
+  lepton::util::Rng rng(406);
+  struct Ctx {
+    std::uint16_t i, avg, rem;
+    std::int16_t v;
+  };
+  std::vector<Ctx> work(n);
+  for (auto& w : work) {
+    w.i = static_cast<std::uint16_t>(rng.below(49));
+    w.avg = static_cast<std::uint16_t>(rng.below(12));
+    w.rem = static_cast<std::uint16_t>(rng.below(10));
+    w.v = static_cast<std::int16_t>(rng.below(64)) - 32;
+  }
+  std::vector<std::uint8_t> buf;
+  auto clustered = std::make_unique<lepton::model::KindModel>();
+  double cs = best_of(3, [&] {
+    lepton::coding::BoolEncoder enc(&buf);
+    lepton::coding::EncodeOps ops{&enc};
+    for (const auto& w : work) {
+      auto& cb = clustered->c77.at(w.i).at(w.avg);
+      lepton::coding::code_value(ops, cb.exp_row(w.rem), &cb.sign,
+                                 cb.res.data(), 10, w.v);
+    }
+    enc.finish_into_buffer();
+  });
+  auto scattered = std::make_unique<ScatteredC77>();
+  double ss = best_of(3, [&] {
+    lepton::coding::BoolEncoder enc(&buf);
+    lepton::coding::EncodeOps ops{&enc};
+    for (const auto& w : work) {
+      lepton::coding::code_value(ops, scattered->exp[w.i][w.avg][w.rem],
+                                 &scattered->sign[w.i][w.avg],
+                                 scattered->res[w.i][w.avg], 10, w.v);
+    }
+    enc.finish_into_buffer();
+  });
+  return {n / 1e6 / cs, n / 1e6 / ss};
+}
+
+// ---- lever 2: speculative multi-bit decode ---------------------------------
+//
+// Decodes one stream twice: through the speculative DecodeOps overloads
+// (prob preload + batched renormalization — what SegmentCodec uses) and
+// through the per-bit reference templates instantiated with DecodeOps.
+// Both must yield identical values; the ratio is the lever.
+
+struct SpecRates {
+  double spec_mvals;
+  double ref_mvals;
+};
+
+SpecRates speculative_lever() {
+  const int n = 1 << 19;
+  lepton::util::Rng rng(407);
+  std::vector<std::int16_t> vals(n);
+  for (auto& v : vals) v = static_cast<std::int16_t>(rng.below(64)) - 32;
+  auto bins = std::make_unique<lepton::model::ValueBins<10>[]>(64);
+  std::vector<std::uint8_t> buf;
+  {
+    lepton::coding::BoolEncoder enc(&buf);
+    lepton::coding::EncodeOps ops{&enc};
+    for (int k = 0; k < n; ++k) {
+      auto& b = bins[k & 63];
+      lepton::coding::code_value(ops, b.exp.data(), &b.sign, b.res.data(), 10,
+                                 vals[k]);
+    }
+    enc.finish_into_buffer();
+  }
+  auto reset_bins = [&] {
+    for (int k = 0; k < 64; ++k) bins[k] = lepton::model::ValueBins<10>{};
+  };
+  std::int64_t sink = 0;
+  double ss = best_of(3, [&] {
+    reset_bins();
+    lepton::coding::BoolDecoder dec({buf.data(), buf.size()});
+    lepton::coding::DecodeOps ops{&dec};
+    for (int k = 0; k < n; ++k) {
+      auto& b = bins[k & 63];
+      // Overload resolution picks the speculative non-template overload.
+      sink += lepton::coding::code_value(ops, b.exp.data(), &b.sign,
+                                         b.res.data(), 10, 0);
+    }
+  });
+  double rs = best_of(3, [&] {
+    reset_bins();
+    lepton::coding::BoolDecoder dec({buf.data(), buf.size()});
+    lepton::coding::DecodeOps ops{&dec};
+    for (int k = 0; k < n; ++k) {
+      auto& b = bins[k & 63];
+      // Explicit template instantiation: the per-bit reference.
+      sink += lepton::coding::code_value<lepton::coding::DecodeOps>(
+          ops, b.exp.data(), &b.sign, b.res.data(), 10, 0);
+    }
+  });
+  keep(sink);
+  return {n / 1e6 / ss, n / 1e6 / rs};
+}
+
+// ---- lever 3: SIMD Huffman re-encode ---------------------------------------
+//
+// Re-encodes a real corpus file's scan (the decode path's per-row work)
+// with SIMD dispatch active vs pinned to the scalar fallback.
+
+struct ReencodeRates {
+  double simd_mbps;
+  double scalar_mbps;
+};
+
+ReencodeRates reencode_lever(const std::vector<std::uint8_t>& jpeg) {
+  auto jf = lepton::jpegfmt::parse_jpeg({jpeg.data(), jpeg.size()});
+  auto dec = lepton::jpegfmt::decode_scan(jf);
+  double bytes = static_cast<double>(jf.scan_bytes().size());
+  double ss = 0, cs = 0;
+  lepton::util::force_simd_level(lepton::util::detected_simd());
+  cs = best_of(5, [&] {
+    auto scan = lepton::jpegfmt::encode_scan(jf, dec.coeffs, dec.pad_bit,
+                                             dec.rst_count);
+    keep(scan.size());
+  });
+  lepton::util::force_simd_level(lepton::util::SimdLevel::kScalar);
+  ss = best_of(5, [&] {
+    auto scan = lepton::jpegfmt::encode_scan(jf, dec.coeffs, dec.pad_bit,
+                                             dec.rst_count);
+    keep(scan.size());
+  });
+  lepton::util::clear_simd_override();
+  return {bytes / 1e6 / cs, bytes / 1e6 / ss};
+}
+
+// ---- lever 4: AVX2 IDCT column pass ----------------------------------------
+
+struct IdctRates {
+  double simd_ns;
+  double scalar_ns;
+};
+
+IdctRates idct_lever() {
+  lepton::util::Rng rng(408);
+  const int nblocks = 512;
+  std::vector<std::array<std::int16_t, 64>> blocks(nblocks);
+  std::uint16_t q[64];
+  for (auto& v : q) v = static_cast<std::uint16_t>(1 + rng.below(48));
+  for (auto& b : blocks) {
+    b.fill(0);
+    int nz = static_cast<int>(rng.below(24));
+    for (int i = 0; i < nz; ++i) {
+      b[rng.below(64)] = static_cast<std::int16_t>(rng.below(256)) - 128;
+    }
+  }
+  std::int32_t out[64];
+  std::int64_t sink = 0;
+  const int rounds = 40;
+  auto run = [&] {
+    for (int r = 0; r < rounds; ++r) {
+      for (const auto& b : blocks) {
+        lepton::jpegfmt::idct_8x8_dequant_ac(b.data(), q, out);
+        sink += out[9];
+      }
+    }
+  };
+  lepton::util::force_simd_level(lepton::util::detected_simd());
+  double cs = best_of(3, run);
+  lepton::util::force_simd_level(lepton::util::SimdLevel::kScalar);
+  double ss = best_of(3, run);
+  lepton::util::clear_simd_override();
+  keep(sink);
+  double per = static_cast<double>(rounds) * nblocks;
+  return {cs / per * 1e9, ss / per * 1e9};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,6 +354,20 @@ int main(int argc, char** argv) {
               bc.encode_literal_mbits, bc.decode_literal_mbits,
               bc.encode_literal_mbits / bc.encode_adaptive_mbits);
 
+  // ---- adaptive-model levers, attributed separately ----
+  auto lay = layout_lever();
+  auto spec = speculative_lever();
+  auto idct = idct_lever();
+  std::printf("bin layout      : clustered %5.2f / scattered %5.2f Mvalues/s   (%.2fx)\n",
+              lay.clustered_mvals, lay.scattered_mvals,
+              lay.clustered_mvals / lay.scattered_mvals);
+  std::printf("spec decode     : speculative %5.2f / per-bit ref %5.2f Mvalues/s (%.2fx)\n",
+              spec.spec_mvals, spec.ref_mvals,
+              spec.spec_mvals / spec.ref_mvals);
+  std::printf("idct pass 2     : %s %6.1f / scalar %6.1f ns/block   (%.2fx)\n",
+              lepton::util::simd_level_name(lepton::util::detected_simd()),
+              idct.simd_ns, idct.scalar_ns, idct.scalar_ns / idct.simd_ns);
+
   // ---- whole-codec single-thread encode+decode on the generated corpus ----
   std::vector<std::vector<std::uint8_t>> files;
   std::size_t total = 0;
@@ -183,13 +392,13 @@ int main(int argc, char** argv) {
     }
     encoded.push_back(std::move(e.data));
   }
-  double es = best_of(3, [&] {
+  double es = best_of(5, [&] {
     for (const auto& f : files) {
       auto e = ctx.encode({f.data(), f.size()}, eopt);
       if (!e.ok()) std::abort();
     }
   });
-  double ds = best_of(3, [&] {
+  double ds = best_of(5, [&] {
     for (const auto& e : encoded) {
       auto d = ctx.decode({e.data(), e.size()}, dopt);
       if (!d.ok()) std::abort();
@@ -200,8 +409,14 @@ int main(int argc, char** argv) {
   double combined = 2 * mb / (es + ds);
   std::printf("codec 1-thread  : encode %5.2f MB/s   decode %5.2f MB/s   combined %5.2f MB/s\n",
               enc_mbps, dec_mbps, combined);
-  std::printf("  (%zu corpus files, %.2f MB, warm CodecContext, best of 3)\n",
+  std::printf("  (%zu corpus files, %.2f MB, warm CodecContext, best of 5)\n",
               files.size(), mb);
+
+  // ---- SIMD re-encode lever (uses the first corpus file's real scan) ----
+  auto re = reencode_lever(files.front());
+  std::printf("scan re-encode  : %s %6.2f / scalar %6.2f MB/s   (%.2fx)\n",
+              lepton::util::simd_level_name(lepton::util::detected_simd()),
+              re.simd_mbps, re.scalar_mbps, re.simd_mbps / re.scalar_mbps);
 
   FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -218,6 +433,19 @@ int main(int argc, char** argv) {
                "  \"bool_literal_encode_Mbps\": %.2f,\n"
                "  \"bool_literal_decode_Mbps\": %.2f,\n"
                "  \"bool_literal_encode_speedup\": %.3f,\n"
+               "  \"layout_clustered_Mvals\": %.2f,\n"
+               "  \"layout_scattered_Mvals\": %.2f,\n"
+               "  \"layout_speedup\": %.3f,\n"
+               "  \"spec_decode_Mvals\": %.2f,\n"
+               "  \"spec_decode_ref_Mvals\": %.2f,\n"
+               "  \"spec_decode_speedup\": %.3f,\n"
+               "  \"reencode_simd_MBps\": %.2f,\n"
+               "  \"reencode_scalar_MBps\": %.2f,\n"
+               "  \"reencode_simd_speedup\": %.3f,\n"
+               "  \"idct_simd_ns_per_block\": %.1f,\n"
+               "  \"idct_scalar_ns_per_block\": %.1f,\n"
+               "  \"idct_speedup\": %.3f,\n"
+               "  \"simd_level\": \"%s\",\n"
                "  \"codec_encode_MBps\": %.2f,\n"
                "  \"codec_decode_MBps\": %.2f,\n"
                "  \"codec_combined_MBps\": %.2f,\n"
@@ -227,8 +455,14 @@ int main(int argc, char** argv) {
                rd_batched, rd_per_bit, rd_batched / rd_per_bit,
                bc.encode_adaptive_mbits, bc.decode_adaptive_mbits,
                bc.encode_literal_mbits, bc.decode_literal_mbits,
-               bc.encode_literal_mbits / bc.encode_adaptive_mbits, enc_mbps,
-               dec_mbps, combined, files.size(), mb);
+               bc.encode_literal_mbits / bc.encode_adaptive_mbits,
+               lay.clustered_mvals, lay.scattered_mvals,
+               lay.clustered_mvals / lay.scattered_mvals, spec.spec_mvals,
+               spec.ref_mvals, spec.spec_mvals / spec.ref_mvals, re.simd_mbps,
+               re.scalar_mbps, re.simd_mbps / re.scalar_mbps, idct.simd_ns,
+               idct.scalar_ns, idct.scalar_ns / idct.simd_ns,
+               lepton::util::simd_level_name(lepton::util::detected_simd()),
+               enc_mbps, dec_mbps, combined, files.size(), mb);
   std::fclose(out);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

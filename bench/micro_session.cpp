@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   // (a) whole-buffer decode through the wrapper (single feed + finish).
   Totals one_shot;
   one_shot.bytes = jpeg_bytes;
-  one_shot.seconds = bench::time_s([&] {
+  one_shot.seconds = bench::best_of(3, [&] {
     for (const auto& lep : leps) {
       lepton::VectorSink sink;
       (void)ctx.decode({lep.data(), lep.size()}, sink);
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   // (b) the same decode fed in ~1500-byte slices.
   Totals sliced;
   sliced.bytes = jpeg_bytes;
-  sliced.seconds = bench::time_s([&] {
+  sliced.seconds = bench::best_of(3, [&] {
     for (const auto& lep : leps) {
       lepton::VectorSink sink;
       lepton::DecodeSession s(sink, {}, &ctx);
@@ -96,12 +96,12 @@ int main(int argc, char** argv) {
   // (d) encode: one-shot wrapper vs byte-sliced feeds.
   Totals enc_one, enc_sliced;
   enc_one.bytes = enc_sliced.bytes = jpeg_bytes;
-  enc_one.seconds = bench::time_s([&] {
+  enc_one.seconds = bench::best_of(3, [&] {
     for (const auto& f : corpus) {
       (void)ctx.encode({f.bytes.data(), f.bytes.size()});
     }
   });
-  enc_sliced.seconds = bench::time_s([&] {
+  enc_sliced.seconds = bench::best_of(3, [&] {
     for (const auto& f : corpus) {
       lepton::EncodeSession s({}, &ctx);
       std::size_t off = 0;

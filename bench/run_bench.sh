@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the hot-path microbench and writes BENCH_hotpath.json at the repo
+# root — the committed perf trajectory every perf PR compares against
+# (ISSUE 3 acceptance; DESIGN.md §"Performance architecture").
+#
+# Usage: bench/run_bench.sh [build-dir] [-- extra micro_hotpath args]
+# The build dir defaults to ./build and is configured+built if missing.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/micro_hotpath" ]]; then
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" --target micro_hotpath -j "$(nproc)"
+fi
+
+shift $(( $# > 0 ? 1 : 0 )) || true
+"$build_dir/micro_hotpath" --out "$repo_root/BENCH_hotpath.json" "$@"
+echo "wrote $repo_root/BENCH_hotpath.json"

@@ -17,13 +17,23 @@
 //
 // Hot-path notes (DESIGN.md "Performance architecture"):
 //  * the encoder can write into a caller-owned, capacity-reserved buffer so
-//    a long-lived CodecContext reuses one allocation across files, and
+//    a long-lived CodecContext reuses one allocation across files, and it
+//    emits through raw stores into over-allocated storage (one capacity
+//    check per renormalization burst, not a push_back per byte);
 //  * both sides have a put_literal/get_literal fast path for raw-bit runs
 //    that subdivides the range by powers of two directly — no probability
-//    multiply, no branch-statistics update.
+//    multiply, no branch-statistics update;
+//  * the decoder batches renormalization: it refills a 64-bit byte window
+//    in bulk, and because one adaptive bit consumes at most one window byte
+//    (range ≥ 2^16 after any update, so a single <<8 restores range ≥
+//    2^24), a caller can prepare() a short bit chain once and then resolve
+//    each bit with get_prepared() — no per-bit refill check, branchless
+//    range/code update. coder_ops.h builds the speculative multi-bit tree
+//    and Exp-Golomb decodes on top of this.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -40,17 +50,21 @@ class BoolEncoder {
     out_->clear();
   }
 
-  void reserve(std::size_t bytes) { out_->reserve(bytes); }
+  void reserve(std::size_t bytes) {
+    if (out_->size() < bytes) out_->resize(bytes);
+  }
 
   void put(bool bit, std::uint8_t prob_zero) {
     std::uint32_t bound = (range_ >> 8) * prob_zero;
-    if (!bit) {
-      range_ = bound;
-    } else {
-      low_ += bound;
-      range_ -= bound;
-    }
-    while (range_ < (1u << 24)) {
+    // Branchless split selection: adaptive bits sit near maximum entropy,
+    // so a conditional branch here mispredicts constantly.
+    std::uint32_t mask = 0u - static_cast<std::uint32_t>(bit);
+    low_ += bound & mask;
+    range_ = ((range_ - bound) & mask) | (bound & ~mask);
+    // One adaptive bit shrinks range by at most 255/256ths of itself plus
+    // the >>8 truncation, so range ≥ 2^16 afterwards: a single
+    // renormalization always restores range ≥ 2^24.
+    if (range_ < (1u << 24)) {
       range_ <<= 8;
       shift_low();
     }
@@ -62,8 +76,9 @@ class BoolEncoder {
   void put_literal(std::uint32_t bits, int count) {
     for (int i = count - 1; i >= 0; --i) {
       range_ >>= 1;
-      if ((bits >> i) & 1u) low_ += range_;
-      while (range_ < (1u << 24)) {
+      std::uint32_t mask = 0u - ((bits >> i) & 1u);
+      low_ += range_ & mask;
+      if (range_ < (1u << 24)) {
         range_ <<= 8;
         shift_low();
       }
@@ -84,22 +99,26 @@ class BoolEncoder {
   // construction (no copy). Only valid with an external buffer.
   void finish_into_buffer() { flush(); }
 
-  std::size_t bytes_so_far() const { return out_->size(); }
+  std::size_t bytes_so_far() const { return len_; }
 
  private:
   void flush() {
     for (int i = 0; i < 5; ++i) shift_low();
+    out_->resize(len_);  // storage beyond len_ is over-allocation
   }
 
   void shift_low() {
     if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
       auto carry = static_cast<std::uint8_t>(low_ >> 32);
-      if (!first_) {
-        out_->push_back(static_cast<std::uint8_t>(cache_ + carry));
-      }
+      // Raw stores into over-allocated storage: the vector's size() is only
+      // authoritative after flush() trims it to len_.
+      ensure(pending_ff_ + 2);
+      std::uint8_t* dst = out_->data() + len_;
+      if (!first_) *dst++ = static_cast<std::uint8_t>(cache_ + carry);
       for (; pending_ff_ > 0; --pending_ff_) {
-        out_->push_back(static_cast<std::uint8_t>(0xFF + carry));
+        *dst++ = static_cast<std::uint8_t>(0xFF + carry);
       }
+      len_ = static_cast<std::size_t>(dst - out_->data());
       cache_ = static_cast<std::uint8_t>(low_ >> 24);
       first_ = false;
     } else {
@@ -108,8 +127,17 @@ class BoolEncoder {
     low_ = (low_ & 0x00FFFFFFull) << 8;
   }
 
+  void ensure(std::uint64_t extra) {
+    if (out_->size() < len_ + extra) {
+      std::size_t grown = out_->size() * 2;
+      std::size_t need = len_ + static_cast<std::size_t>(extra) + 64;
+      out_->resize(grown > need ? grown : need);
+    }
+  }
+
   std::vector<std::uint8_t> own_;
   std::vector<std::uint8_t>* out_;
+  std::size_t len_ = 0;  // emitted bytes; out_->size() is capacity in use
   std::uint64_t low_ = 0;
   std::uint32_t range_ = 0xFFFFFFFFu;
   std::uint8_t cache_ = 0;
@@ -120,10 +148,38 @@ class BoolEncoder {
 class BoolDecoder {
  public:
   explicit BoolDecoder(std::span<const std::uint8_t> data) : d_(data) {
-    for (int i = 0; i < 4; ++i) code_ = (code_ << 8) | next_byte();
+    refill();
+    for (int i = 0; i < 4; ++i) {
+      wbits_ -= 8;
+      code_ = (code_ << 8) |
+              static_cast<std::uint32_t>((win_ >> wbits_) & 0xFF);
+    }
+    popped_ += 4;
   }
 
   bool get(std::uint8_t prob_zero) {
+    if (wbits_ < 8) refill();
+    return get_prepared(prob_zero);
+  }
+
+  // Guarantees the next `nbits` adaptive-bit decodes (each consumes at most
+  // one renormalization byte) can run without any refill or bounds check.
+  // nbits must be <= 6 (the window holds up to 56 buffered bits).
+  void prepare(int nbits) {
+    if (wbits_ < nbits * 8) refill();
+  }
+
+  // One adaptive bit with no refill check — requires a prior prepare()
+  // covering it. Both the split selection and the ≤1-byte renormalization
+  // keep *predicted branches* on purpose: well-adapted model bins are
+  // heavily skewed and renorm fires roughly once per coded byte, so the
+  // predictor resolves both off the critical path, while a cmov/mask chain
+  // would serialize every bit behind a variable shift of code_ (measured:
+  // fully branchless here costs ~10% whole-decode). The uniform-bit
+  // literal path below is the opposite case and is branchless. What this
+  // path removes relative to a classic per-bit decoder is the per-renorm
+  // memory load with its bounds check: the byte pops from a register.
+  bool get_prepared(std::uint8_t prob_zero) {
     std::uint32_t bound = (range_ >> 8) * prob_zero;
     bool bit;
     if (code_ < bound) {
@@ -134,40 +190,56 @@ class BoolDecoder {
       code_ -= bound;
       range_ -= bound;
     }
-    while (range_ < (1u << 24)) {
+    if (range_ < (1u << 24)) {
       range_ <<= 8;
-      code_ = (code_ << 8) | next_byte();
+      wbits_ -= 8;
+      code_ = (code_ << 8) |
+              static_cast<std::uint32_t>((win_ >> wbits_) & 0xFF);
+      ++popped_;
     }
     return bit;
   }
 
   // Raw-bit fast path mirroring BoolEncoder::put_literal. Returns `count`
-  // bits MSB-first.
+  // bits MSB-first. Each literal bit halves the range, so it too consumes
+  // at most one renormalization byte; bits run in prepared chunks.
   std::uint32_t get_literal(int count) {
     std::uint32_t v = 0;
-    for (int i = 0; i < count; ++i) {
-      range_ >>= 1;
-      std::uint32_t bit = code_ >= range_ ? 1u : 0u;
-      if (bit) code_ -= range_;
-      v = (v << 1) | bit;
-      while (range_ < (1u << 24)) {
-        range_ <<= 8;
-        code_ = (code_ << 8) | next_byte();
+    int i = 0;
+    while (i < count) {
+      int chunk = count - i;
+      if (chunk > 6) chunk = 6;
+      prepare(chunk);
+      for (int j = 0; j < chunk; ++j) {
+        range_ >>= 1;
+        std::uint32_t one = code_ >= range_ ? 1u : 0u;
+        code_ -= range_ & (0u - one);
+        v = (v << 1) | one;
+        std::uint32_t renorm = range_ < (1u << 24) ? 1u : 0u;
+        int s = static_cast<int>(renorm << 3);
+        range_ <<= s;
+        wbits_ -= s;
+        std::uint32_t byte =
+            static_cast<std::uint32_t>((win_ >> wbits_) & 0xFF) &
+            (0u - renorm);
+        code_ = (code_ << s) | byte;
+        popped_ += renorm;
       }
+      i += chunk;
     }
     return v;
   }
 
   // True once the decoder has consumed (or run past) all input; used by
   // validation, not required for correctness.
-  bool exhausted() const { return pos_ >= d_.size(); }
+  bool exhausted() const { return popped_ >= d_.size(); }
 
   // True iff the decoder needed bytes beyond the end of its input — i.e.
   // the stream was truncated relative to what the coded data demanded. A
   // well-formed stream decodes to exactly its own length and never sets
   // this; validation (verify.cpp's admissibility gate) uses it to separate
   // truncation from exact consumption.
-  bool overran() const { return overran_; }
+  bool overran() const { return popped_ > d_.size(); }
 
   // Exact consumption counts behind the exhausted()/overran() booleans,
   // aggregated into lepton::DecodeStats so validation layers outside the
@@ -175,23 +247,54 @@ class BoolDecoder {
   // a stream was consumed, not just whether it ran out. consumed() never
   // exceeds available(): an overrunning decode reads synthetic zero bytes,
   // it does not advance past the end.
-  std::size_t consumed() const { return pos_; }
+  std::size_t consumed() const {
+    return popped_ < d_.size() ? static_cast<std::size_t>(popped_) : d_.size();
+  }
   std::size_t available() const { return d_.size(); }
 
  private:
-  std::uint8_t next_byte() {
-    if (pos_ >= d_.size()) {
-      overran_ = true;
-      return 0;  // truncated input reads as 0
+  // Refills the byte window to 56 bits. Bytes past the end of the input
+  // read as zero (truncated input); whether any synthetic byte was actually
+  // *consumed* is what popped_ vs d_.size() records — prefetching them into
+  // the window is unobservable.
+  void refill() {
+    if (pos_ + 8 <= d_.size()) {
+      // Bulk path: load the next 8 bytes once, take what fits.
+      std::uint64_t chunk;
+      std::memcpy(&chunk, d_.data() + pos_, 8);
+#if defined(__GNUC__) || defined(__clang__)
+      chunk = __builtin_bswap64(chunk);  // first stream byte = MSB
+#else
+      chunk = ((chunk & 0x00000000000000FFull) << 56) |
+              ((chunk & 0x000000000000FF00ull) << 40) |
+              ((chunk & 0x0000000000FF0000ull) << 24) |
+              ((chunk & 0x00000000FF000000ull) << 8) |
+              ((chunk & 0x000000FF00000000ull) >> 8) |
+              ((chunk & 0x0000FF0000000000ull) >> 24) |
+              ((chunk & 0x00FF000000000000ull) >> 40) |
+              ((chunk & 0xFF00000000000000ull) >> 56);
+#endif
+      int take = (56 - wbits_) >> 3;
+      win_ = (win_ << (take * 8)) | (chunk >> (64 - take * 8));
+      wbits_ += take * 8;
+      pos_ += static_cast<std::size_t>(take);
+      return;
     }
-    return d_[pos_++];
+    while (wbits_ <= 48) {
+      std::uint64_t b = pos_ < d_.size() ? d_[pos_] : 0;
+      pos_ += pos_ < d_.size() ? 1 : 0;
+      win_ = (win_ << 8) | b;
+      wbits_ += 8;
+    }
   }
 
   std::span<const std::uint8_t> d_;
-  std::size_t pos_ = 0;
+  std::size_t pos_ = 0;         // next input byte to prefetch into win_
+  std::uint64_t win_ = 0;       // prefetched stream bytes, right-justified
+  int wbits_ = 0;               // valid bits in win_ (multiple of 8, <= 56)
+  std::uint64_t popped_ = 0;    // bytes fed from win_ into code_
   std::uint32_t code_ = 0;
   std::uint32_t range_ = 0xFFFFFFFFu;
-  bool overran_ = false;
 };
 
 }  // namespace lepton::coding

@@ -8,6 +8,7 @@
 // update the branch identically.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "coding/bool_coder.h"
@@ -60,6 +61,13 @@ struct DecodeOps {
 // subdivision per bit, no bin lookups, no adaptation. `exp_branches` must
 // hold at least `max_bits` branches, `res_branches` at least
 // `max_bits - 1`.
+//
+// These templates are the *reference* implementation: one ops.code_bit per
+// bit, in the canonical order. The decode side has speculative non-template
+// overloads below that resolve the same bit chains with batched
+// renormalization and next-branch probability preloads; the overloads are
+// bit-for-bit equivalent (the fuzz tests in tests/hotloop_test.cpp compare
+// them against these templates instantiated with DecodeOps).
 template <typename Ops>
 std::int32_t code_value(Ops& ops, Branch* exp_branches, Branch* sign_branch,
                         Branch* res_branches, int max_bits,
@@ -69,10 +77,7 @@ std::int32_t code_value(Ops& ops, Branch* exp_branches, Branch* sign_branch,
     std::uint32_t a = v_if_encoding < 0
                           ? static_cast<std::uint32_t>(-v_if_encoding)
                           : static_cast<std::uint32_t>(v_if_encoding);
-    while (a != 0) {
-      ++target_e;
-      a >>= 1;
-    }
+    target_e = std::bit_width(a);  // one instruction, not a shift loop
   }
   int e = 0;
   while (e < max_bits) {
@@ -115,6 +120,99 @@ std::uint32_t code_tree(Ops& ops, Branch* tree_branches, int bits,
     node = (node << 1) | (bit ? 1u : 0u);
   }
   return node - (1u << bits);
+}
+
+// ---- Speculative decode-side overloads -------------------------------------
+//
+// Overload resolution picks these (non-template beats template) whenever the
+// model code instantiates with DecodeOps, so SegmentCodec's decode loop gets
+// them without any call-site changes; EncodeOps — and any explicit
+// `code_tree<DecodeOps>` reference call — still uses the templates above.
+//
+// Two levers, both bit-exact (identical arithmetic, identical branch-update
+// sequence — only buffering and instruction scheduling change):
+//  * batched renormalization: one adaptive bit consumes at most one stream
+//    byte, so a chain of n bits needs one BoolDecoder::prepare(n) instead of
+//    n refill checks, and each bit resolves branchlessly (get_prepared);
+//  * split-table speculation: while the range split for the current tree
+//    node resolves, both candidate child probabilities are already loaded
+//    (they sit on the same cache line in the clustered model layout), so
+//    the dependent bin lookup is off the critical path — the next split is
+//    ready the moment the current bit's compare retires.
+
+// Tree decode with both-child probability preload. Runs in prepared chunks
+// of up to 6 bits (the decoder window's ceiling), so any tree depth works —
+// the model's trees are 3/6 bits, the byte-arith baseline's are 8.
+inline std::uint32_t code_tree(DecodeOps& ops, Branch* tree_branches, int bits,
+                               std::uint32_t /*hint*/) {
+  BoolDecoder* dec = ops.dec;
+  std::uint32_t node = 1;
+  std::uint8_t p = tree_branches[1].prob_zero();
+  int i = bits - 1;
+  while (i >= 0) {
+    int chunk = i + 1;
+    if (chunk > 6) chunk = 6;
+    dec->prepare(chunk);
+    for (int j = 0; j < chunk; ++j, --i) {
+      // Children of every non-final level stay inside the 2^bits-entry row;
+      // the last level has no children to preload.
+      std::uint8_t p0 = 0, p1 = 0;
+      if (i > 0) {
+        p0 = tree_branches[2 * node].prob_zero();
+        p1 = tree_branches[2 * node + 1].prob_zero();
+      }
+      bool bit = dec->get_prepared(p);
+      tree_branches[node].record(bit);
+      node = (node << 1) | (bit ? 1u : 0u);
+      p = bit ? p1 : p0;
+    }
+  }
+  return node - (1u << bits);
+}
+
+// Exp-Golomb decode: the unary exponent walk runs in prepared chunks of up
+// to 4 adaptive bits with the next exponent bin's probability preloaded
+// (the clustered layout keeps the whole walk on one or two lines); sign and
+// the adaptive top residual bit share one more prepared pair.
+inline std::int32_t code_value(DecodeOps& ops, Branch* exp_branches,
+                               Branch* sign_branch, Branch* res_branches,
+                               int max_bits, std::int32_t /*hint*/) {
+  BoolDecoder* dec = ops.dec;
+  int e = 0;
+  bool more = true;
+  while (more && e < max_bits) {
+    int chunk = max_bits - e;
+    if (chunk > 4) chunk = 4;
+    dec->prepare(chunk);
+    std::uint8_t p = exp_branches[e].prob_zero();
+    for (int j = 0; j < chunk; ++j) {
+      std::uint8_t pn =
+          e + 1 < max_bits ? exp_branches[e + 1].prob_zero() : 0;
+      more = dec->get_prepared(p);
+      exp_branches[e].record(more);
+      if (!more) break;
+      ++e;
+      p = pn;
+    }
+  }
+  if (e == 0) return 0;
+
+  dec->prepare(2);
+  bool negative = dec->get_prepared(sign_branch->prob_zero());
+  sign_branch->record(negative);
+
+  std::uint32_t mag = 1;  // implicit leading 1
+  if (e >= 2) {
+    int top = e - 2;  // highest residual bit: adaptive
+    bool bit = dec->get_prepared(res_branches[top].prob_zero());
+    res_branches[top].record(bit);
+    mag = (mag << 1) | (bit ? 1u : 0u);
+    if (top > 0) {  // remaining low bits: batched raw literals
+      mag = (mag << top) | dec->get_literal(top);
+    }
+  }
+  auto result = static_cast<std::int32_t>(mag);
+  return negative ? -result : result;
 }
 
 }  // namespace lepton::coding

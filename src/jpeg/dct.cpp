@@ -2,6 +2,15 @@
 
 #include <cmath>
 
+#include "util/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#define LEPTON_DCT_X86 1
+#include <immintrin.h>
+#else
+#define LEPTON_DCT_X86 0
+#endif
+
 namespace lepton::jpegfmt {
 
 void fdct_8x8(const std::uint8_t* pixels, int stride, double out[64]) {
@@ -110,6 +119,112 @@ inline void idct_1d(const std::int64_t* in, int in_stride, std::int64_t* out,
   out[4 * out_stride] = (e3 - o0 + r) >> shift;
 }
 
+#if LEPTON_DCT_X86
+
+// ---- AVX2 second pass -------------------------------------------------------
+//
+// The column pass combines tmp[u][y] across u for every y — lane-parallel
+// over y, and tmp is stored row-major, so the eight rows load directly as
+// vectors with no transpose. All arithmetic is exact 64-bit (multiplies via
+// vpmuldq on operands the caller has range-gated to 31 bits, arithmetic
+// shifts emulated with a sign mask), so the result is bit-identical to the
+// scalar idct_1d column loop — a hard requirement: DC prediction feeds the
+// model, and a stream encoded on an AVX2 machine must decode identically on
+// a machine without it.
+
+struct V8 {
+  __m256i a, b;  // columns 0..3, 4..7 as int64 lanes
+};
+
+#define LEPTON_AVX2 __attribute__((target("avx2"))) static inline
+
+LEPTON_AVX2 V8 v8_load(const std::int64_t* p) {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4))};
+}
+LEPTON_AVX2 V8 v8_add(V8 x, V8 y) {
+  return {_mm256_add_epi64(x.a, y.a), _mm256_add_epi64(x.b, y.b)};
+}
+LEPTON_AVX2 V8 v8_sub(V8 x, V8 y) {
+  return {_mm256_sub_epi64(x.a, y.a), _mm256_sub_epi64(x.b, y.b)};
+}
+// x * c with |x| < 2^31 (range-gated) and |c| < 2^15: vpmuldq multiplies
+// the signed low halves of each 64-bit lane.
+LEPTON_AVX2 V8 v8_mulc(V8 x, std::int64_t c) {
+  __m256i cc = _mm256_set1_epi64x(c);
+  return {_mm256_mul_epi32(x.a, cc), _mm256_mul_epi32(x.b, cc)};
+}
+LEPTON_AVX2 V8 v8_shl13(V8 x) {
+  return {_mm256_slli_epi64(x.a, 13), _mm256_slli_epi64(x.b, 13)};
+}
+// Arithmetic >> 20 with rounding (AVX2 has no 64-bit arithmetic shift:
+// logical shift + a sign-extension mask).
+LEPTON_AVX2 __m256i asr20_round_lane(__m256i x) {
+  x = _mm256_add_epi64(x, _mm256_set1_epi64x(1ll << 19));
+  __m256i neg = _mm256_cmpgt_epi64(_mm256_setzero_si256(), x);
+  return _mm256_or_si256(_mm256_srli_epi64(x, 20),
+                         _mm256_slli_epi64(neg, 44));
+}
+// Truncate 8 int64 lanes to 8 int32 and store one output row.
+LEPTON_AVX2 void v8_store_row(V8 x, std::int32_t* p) {
+  __m256i ra = asr20_round_lane(x.a);
+  __m256i rb = asr20_round_lane(x.b);
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  __m256i pa = _mm256_permutevar8x32_epi32(ra, idx);
+  __m256i pb = _mm256_permutevar8x32_epi32(rb, idx);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p),
+                      _mm256_permute2x128_si256(pa, pb, 0x20));
+}
+
+__attribute__((target("avx2"))) static void idct_pass2_avx2(
+    const std::int64_t* tmp, std::int32_t* out) {
+  V8 in0 = v8_load(tmp), in1 = v8_load(tmp + 8), in2 = v8_load(tmp + 16);
+  V8 in3 = v8_load(tmp + 24), in4 = v8_load(tmp + 32), in5 = v8_load(tmp + 40);
+  V8 in6 = v8_load(tmp + 48), in7 = v8_load(tmp + 56);
+
+  // Even part (mirrors idct_1d exactly).
+  V8 z1 = v8_mulc(v8_add(in2, in6), kFix0_541196100);
+  V8 t2 = v8_sub(z1, v8_mulc(in6, kFix1_847759065));
+  V8 t3 = v8_add(z1, v8_mulc(in2, kFix0_765366865));
+  V8 t0 = v8_shl13(v8_add(in0, in4));
+  V8 t1 = v8_shl13(v8_sub(in0, in4));
+  V8 e0 = v8_add(t0, t3), e3 = v8_sub(t0, t3);
+  V8 e1 = v8_add(t1, t2), e2 = v8_sub(t1, t2);
+
+  // Odd part.
+  V8 o0 = in7, o1 = in5, o2 = in3, o3 = in1;
+  V8 za = v8_add(o0, o3);
+  V8 zb = v8_add(o1, o2);
+  V8 zc = v8_add(o0, o2);
+  V8 zd = v8_add(o1, o3);
+  V8 z5 = v8_mulc(v8_add(zc, zd), kFix1_175875602);
+  o0 = v8_mulc(o0, kFix0_298631336);
+  o1 = v8_mulc(o1, kFix2_053119869);
+  o2 = v8_mulc(o2, kFix3_072711026);
+  o3 = v8_mulc(o3, kFix1_501321110);
+  za = v8_mulc(za, -kFix0_899976223);
+  zb = v8_mulc(zb, -kFix2_562915447);
+  zc = v8_add(v8_mulc(zc, -kFix1_961570560), z5);
+  zd = v8_add(v8_mulc(zd, -kFix0_390180644), z5);
+  o0 = v8_add(o0, v8_add(za, zc));
+  o1 = v8_add(o1, v8_add(zb, zd));
+  o2 = v8_add(o2, v8_add(zb, zc));
+  o3 = v8_add(o3, v8_add(za, zd));
+
+  v8_store_row(v8_add(e0, o3), out);
+  v8_store_row(v8_sub(e0, o3), out + 56);
+  v8_store_row(v8_add(e1, o2), out + 8);
+  v8_store_row(v8_sub(e1, o2), out + 48);
+  v8_store_row(v8_add(e2, o1), out + 16);
+  v8_store_row(v8_sub(e2, o1), out + 40);
+  v8_store_row(v8_add(e3, o0), out + 24);
+  v8_store_row(v8_sub(e3, o0), out + 32);
+}
+
+#undef LEPTON_AVX2
+
+#endif  // LEPTON_DCT_X86
+
 }  // namespace
 
 void idct_8x8_scaled(const std::int32_t coef[64], std::int32_t out[64]) {
@@ -170,6 +285,15 @@ void idct_8x8_dequant_ac(const std::int16_t coef[64],
   }
   std::int64_t row_in[8];
   std::int64_t tmp[64];
+  // OR-accumulator over pass-1 magnitudes (t^(t>>63) = |t| or |t|-1): if it
+  // stays under 2^29-1 every second-pass multiply operand fits 32 signed
+  // bits, which is what the exact AVX2 pass below requires (vpmuldq
+  // multiplies 32-bit halves). The widest operand is z5's, a FOUR-term sum
+  // of pass-1 outputs (in1+in3+in5+in7), hence 2^29 and not 2^31: 4·(2^29-1)
+  // still fits int32. Ordinary 8-bit-quant blocks sit far inside the gate;
+  // pathological 16-bit-quant blocks fall back to the scalar loop with
+  // identical results.
+  std::int64_t mag_or = 0;
   for (int u = 0; u < 8; ++u) {
     if ((row_nz & (1u << u)) == 0) {
       for (int y = 0; y < 8; ++y) tmp[u * 8 + y] = 0;
@@ -185,6 +309,7 @@ void idct_8x8_dequant_ac(const std::int16_t coef[64],
           (((static_cast<std::int64_t>(r[0]) * qr[0]) << 13) + (1ll << 5)) >>
           6;
       for (int y = 0; y < 8; ++y) tmp[u * 8 + y] = t;
+      mag_or |= t ^ (t >> 63);
       continue;
     }
     for (int v = 0; v < 8; ++v) {
@@ -192,6 +317,10 @@ void idct_8x8_dequant_ac(const std::int16_t coef[64],
     }
     if (u == 0) row_in[0] = 0;  // AC-only: DC excluded
     idct_1d(row_in, 1, tmp + u * 8, 1, 6);
+    for (int y = 0; y < 8; ++y) {
+      std::int64_t t = tmp[u * 8 + y];
+      mag_or |= t ^ (t >> 63);
+    }
   }
   // Blocks whose only energy is coefficient row 0 (the 1x7 row edge) make
   // every second-pass column a DC-only butterfly: broadcast it.
@@ -203,6 +332,15 @@ void idct_8x8_dequant_ac(const std::int16_t coef[64],
     }
     return;
   }
+#if LEPTON_DCT_X86
+  if (mag_or < (1ll << 29) - 1 &&
+      util::active_simd() == util::SimdLevel::kAvx2) {
+    idct_pass2_avx2(tmp, out);
+    return;
+  }
+#else
+  (void)mag_or;
+#endif
   std::int64_t col_out[8];
   for (int y = 0; y < 8; ++y) {
     idct_1d(tmp + y, 8, col_out, 1, 20);

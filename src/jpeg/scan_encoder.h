@@ -21,6 +21,7 @@
 
 #include "jpeg/jpeg_types.h"
 #include "jpeg/parser.h"
+#include "jpeg/scan_simd.h"
 #include "jpeg/stuffed_bitio.h"
 
 namespace lepton::jpegfmt {
@@ -51,9 +52,14 @@ inline void put_coded(StuffedBitWriter& w, const HuffmanTable& t, int symbol) {
   w.put_bits(t.code(static_cast<std::uint8_t>(symbol)), len);
 }
 
+// Emits one block from its PreparedBlock (scan_simd.h): DC differentially,
+// then only the nonzero AC coefficients, walking the set bits of the
+// nonzero mask — run lengths fall out of the bit positions, and the Huffman
+// code and the value bits of each coefficient merge into a single put_bits
+// (<= 27 bits). Byte-identical to the classic per-coefficient walk.
 inline void encode_block(StuffedBitWriter& w, const std::int16_t* blk,
-                         const HuffmanTable& dct, const HuffmanTable& act,
-                         std::int16_t& dc_pred) {
+                         const simd::PreparedBlock& p, const HuffmanTable& dct,
+                         const HuffmanTable& act, std::int16_t& dc_pred) {
   int diff = blk[0] - dc_pred;
   dc_pred = blk[0];
   int s = diff == 0 ? 0 : magnitude_bits(diff);
@@ -63,24 +69,35 @@ inline void encode_block(StuffedBitWriter& w, const std::int16_t* blk,
     w.put_bits(static_cast<std::uint32_t>(v), s);
   }
 
-  int run = 0;
-  for (int k = 1; k < 64; ++k) {
-    int c = blk[kZigzag[k]];
-    if (c == 0) {
-      ++run;
-      continue;
-    }
+  std::uint64_t m = p.nzmask;
+  int prev = 0;
+  while (m != 0) {
+    int k = std::countr_zero(m);
+    m &= m - 1;
+    int run = k - prev - 1;
+    prev = k;
     while (run > 15) {
       put_coded(w, act, 0xF0);  // ZRL
       run -= 16;
     }
-    int size = magnitude_bits(c);
-    put_coded(w, act, (run << 4) | size);
-    int v = c < 0 ? c + (1 << size) - 1 : c;
-    w.put_bits(static_cast<std::uint32_t>(v), size);
-    run = 0;
+    int size = p.size[k];
+    int symbol = (run << 4) | size;
+    int len = act.code_length(static_cast<std::uint8_t>(symbol));
+    if (len == 0) {
+      throw ParseError(util::ExitCode::kImpossible,
+                       "symbol without Huffman code");
+    }
+    // v = c for positives, c - 1 in two's complement for negatives; the
+    // low `size` bits match T.81's value coding (put_bits masks to size).
+    int c = p.zz[k];
+    auto v = static_cast<std::uint32_t>(c + (c >> 15));
+    w.put_bits((static_cast<std::uint32_t>(
+                    act.code(static_cast<std::uint8_t>(symbol)))
+                << size) |
+                   (v & ((1u << size) - 1u)),
+               len + size);
   }
-  if (run > 0) put_coded(w, act, 0x00);  // EOB
+  if (prev != 63) put_coded(w, act, 0x00);  // EOB
 }
 
 }  // namespace detail
@@ -98,6 +115,10 @@ void encode_scan_rows_with(const JpegFile& jf, Source&& source,
                            std::vector<std::uint8_t>* out) {
   const FrameInfo& fr = jf.frame;
   const HuffmanHandover& h = params.handover;
+  // SIMD dispatch resolved once per call (the decode path calls this per
+  // MCU row): scalar / SSE2 / AVX2 per util::active_simd().
+  const simd::PrepareFn prepare = simd::prepare_block_fn();
+  simd::PreparedBlock prepared;
   StuffedBitWriter w(out, h.partial_byte, h.pos.bit_off);
   std::array<std::int16_t, 4> dc_pred = h.dc_pred;
   std::uint32_t mcus_done = h.mcus_done;
@@ -136,8 +157,9 @@ void encode_scan_rows_with(const JpegFile& jf, Source&& source,
         const auto& comp = fr.comps[sl.comp];
         int bx = (fr.ncomp() == 1) ? mx : mx * comp.h_samp + sl.bx;
         int by = (fr.ncomp() == 1) ? my : my * comp.v_samp + sl.by;
-        detail::encode_block(w, source(sl.comp, bx, by),
-                             jf.dc_tables[comp.dc_tbl],
+        const std::int16_t* blk = source(sl.comp, bx, by);
+        prepare(blk, prepared);
+        detail::encode_block(w, blk, prepared, jf.dc_tables[comp.dc_tbl],
                              jf.ac_tables[comp.ac_tbl], dc_pred[sl.comp]);
       }
       ++mcus_done;

@@ -1,0 +1,137 @@
+#include "jpeg/scan_simd.h"
+
+#include <bit>
+
+#include "jpeg/jpeg_types.h"
+#include "util/cpu_features.h"
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#define LEPTON_SCAN_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define LEPTON_SCAN_SIMD_X86 0
+#endif
+
+namespace lepton::jpegfmt::simd {
+
+void prepare_block_scalar(const std::int16_t* blk, PreparedBlock& p) {
+  std::uint64_t nz = 0;
+  p.zz[0] = blk[0];
+  p.size[0] = 0;
+  for (int k = 1; k < 64; ++k) {
+    int c = blk[kZigzag[k]];
+    p.zz[k] = static_cast<std::int16_t>(c);
+    auto a = static_cast<unsigned>(c < 0 ? -c : c);
+    p.size[k] = static_cast<std::uint8_t>(32 - std::countl_zero(a | 1) -
+                                          (a == 0 ? 1 : 0));
+    nz |= static_cast<std::uint64_t>(c != 0) << k;
+  }
+  p.nzmask = nz;
+}
+
+#if LEPTON_SCAN_SIMD_X86
+
+namespace {
+
+// Zero-extended |x| lanes → magnitude bit-length via the float exponent:
+// for a > 0, (bits(float(a)) >> 23) - 126 == floor(log2 a) + 1; a == 0
+// gives a negative value that the caller clamps to zero. Exact because
+// every |coefficient| (<= 2^15) converts to float exactly.
+
+inline void sizes_sse2(__m128i abs16, std::uint8_t* out8) {
+  __m128i zero = _mm_setzero_si128();
+  __m128i lo = _mm_unpacklo_epi16(abs16, zero);
+  __m128i hi = _mm_unpackhi_epi16(abs16, zero);
+  __m128i elo = _mm_srli_epi32(_mm_castps_si128(_mm_cvtepi32_ps(lo)), 23);
+  __m128i ehi = _mm_srli_epi32(_mm_castps_si128(_mm_cvtepi32_ps(hi)), 23);
+  __m128i bias = _mm_set1_epi32(126);
+  __m128i b16 = _mm_packs_epi32(_mm_sub_epi32(elo, bias),
+                                _mm_sub_epi32(ehi, bias));
+  b16 = _mm_max_epi16(b16, zero);  // zero lanes: -126 → 0
+  __m128i b8 = _mm_packus_epi16(b16, zero);
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(out8), b8);
+}
+
+void prepare_block_sse2(const std::int16_t* blk, PreparedBlock& p) {
+  for (int k = 0; k < 64; ++k) p.zz[k] = blk[kZigzag[k]];
+  std::uint64_t nz = 0;
+  __m128i zero = _mm_setzero_si128();
+  for (int g = 0; g < 64; g += 8) {
+    __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p.zz + g));
+    __m128i sign = _mm_srai_epi16(x, 15);
+    __m128i abs16 = _mm_sub_epi16(_mm_xor_si128(x, sign), sign);
+    // Per-lane zero flags → one byte of the nonzero mask.
+    __m128i is_zero = _mm_cmpeq_epi16(x, zero);
+    unsigned zbyte = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_packs_epi16(is_zero, zero)));
+    nz |= static_cast<std::uint64_t>(~zbyte & 0xFFu) << g;
+    sizes_sse2(abs16, p.size + g);
+  }
+  p.nzmask = nz & ~1ull;  // DC excluded
+  p.size[0] = 0;
+}
+
+__attribute__((target("avx2"))) void prepare_block_avx2(
+    const std::int16_t* blk, PreparedBlock& p) {
+  for (int k = 0; k < 64; ++k) p.zz[k] = blk[kZigzag[k]];
+  std::uint64_t nz = 0;
+  __m256i zero = _mm256_setzero_si256();
+  __m256i bias = _mm256_set1_epi32(126);
+  for (int g = 0; g < 64; g += 16) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p.zz + g));
+    // Per-lane zero flags. vpacksswb interleaves 128-bit halves; movemask
+    // over the packed bytes yields the 16 flags in half-scrambled order, so
+    // un-scramble by assembling from the two halves explicitly.
+    __m256i is_zero = _mm256_cmpeq_epi16(x, zero);
+    __m256i packed = _mm256_packs_epi16(is_zero, zero);
+    auto zmask = static_cast<unsigned>(_mm256_movemask_epi8(packed));
+    unsigned z16 = (zmask & 0xFFu) | ((zmask >> 8) & 0xFF00u);
+    nz |= static_cast<std::uint64_t>(~z16 & 0xFFFFu) << g;
+    // Magnitude classes, 16 lanes: widen |x| zero-extended, float-exponent
+    // trick per 8, repack. vpackusdw/vpackuswb also interleave halves;
+    // doing the two 8-lane halves with 128-bit ops keeps the order
+    // straight and still halves the loop count vs SSE2.
+    __m256i sign = _mm256_srai_epi16(x, 15);
+    __m256i abs16 = _mm256_sub_epi16(_mm256_xor_si256(x, sign), sign);
+    __m256i lo32 =
+        _mm256_cvtepu16_epi32(_mm256_castsi256_si128(abs16));
+    __m256i hi32 =
+        _mm256_cvtepu16_epi32(_mm256_extracti128_si256(abs16, 1));
+    __m256i elo = _mm256_srli_epi32(
+        _mm256_castps_si256(_mm256_cvtepi32_ps(lo32)), 23);
+    __m256i ehi = _mm256_srli_epi32(
+        _mm256_castps_si256(_mm256_cvtepi32_ps(hi32)), 23);
+    __m256i blo = _mm256_sub_epi32(elo, bias);
+    __m256i bhi = _mm256_sub_epi32(ehi, bias);
+    // Pack 8+8 int32 → 16 int16 (lane-interleaved), fix order with a
+    // permute, clamp, then narrow to bytes.
+    __m256i b16 = _mm256_packs_epi32(blo, bhi);
+    b16 = _mm256_permute4x64_epi64(b16, 0xD8);
+    b16 = _mm256_max_epi16(b16, zero);
+    __m256i b8 = _mm256_packus_epi16(b16, zero);
+    b8 = _mm256_permute4x64_epi64(b8, 0xD8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p.size + g),
+                     _mm256_castsi256_si128(b8));
+  }
+  p.nzmask = nz & ~1ull;
+  p.size[0] = 0;
+}
+
+}  // namespace
+
+#endif  // LEPTON_SCAN_SIMD_X86
+
+PrepareFn prepare_block_fn() {
+#if LEPTON_SCAN_SIMD_X86
+  switch (util::active_simd()) {
+    case util::SimdLevel::kAvx2: return prepare_block_avx2;
+    case util::SimdLevel::kSse2: return prepare_block_sse2;
+    case util::SimdLevel::kScalar: return prepare_block_scalar;
+  }
+#endif
+  return prepare_block_scalar;
+}
+
+}  // namespace lepton::jpegfmt::simd

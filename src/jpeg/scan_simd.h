@@ -1,0 +1,44 @@
+// Vectorized coefficient preparation for the scan re-encoder.
+//
+// The decode path re-Huffman-encodes every block it reconstructs
+// (encode_scan_rows_with); the serial per-coefficient walk there — load a
+// zigzag coefficient, branch on zero, compute its magnitude class — costs
+// one hard-to-predict branch per coefficient on mostly-zero blocks. The
+// prepare pass below lifts that work out of the emission loop: it computes,
+// for all 63 AC coefficients at once, the zigzag-ordered values, their
+// magnitude bit-lengths, and a nonzero bitmask. The emission loop then
+// walks only the set bits (countr_zero), with run lengths falling out of
+// the bit positions — no per-zero work at all.
+//
+// Three implementations share the contract: a scalar fallback (always
+// compiled, always tested), SSE2 (the x86-64 baseline), and AVX2 (runtime
+// dispatch via util::cpu_features). All three produce byte-identical
+// PreparedBlock contents; the SIMD magnitude class comes from the float
+// exponent field (exact for |c| <= 2^24, far above JPEG's 12-bit range).
+#pragma once
+
+#include <cstdint>
+
+namespace lepton::jpegfmt::simd {
+
+struct PreparedBlock {
+  // Bit k set (k in 1..63) iff the coefficient at zigzag index k is
+  // nonzero. Bit 0 (DC) is always clear — DC is differentially coded by
+  // the caller.
+  std::uint64_t nzmask;
+  // Coefficients reordered to zigzag scan order (zz[0] = DC, unused).
+  std::int16_t zz[64];
+  // Magnitude bit-length per zigzag index (0 for zero coefficients).
+  std::uint8_t size[64];
+};
+
+using PrepareFn = void (*)(const std::int16_t* blk, PreparedBlock& p);
+
+// Always-available reference implementation.
+void prepare_block_scalar(const std::int16_t* blk, PreparedBlock& p);
+
+// The implementation for util::active_simd(); consult per scan (or per
+// row) — it is an atomic load and a switch.
+PrepareFn prepare_block_fn();
+
+}  // namespace lepton::jpegfmt::simd

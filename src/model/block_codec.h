@@ -49,6 +49,17 @@ inline const Interior77& interior77() {
   return t;
 }
 
+// Read-prefetch `p` into all cache levels; no-op on compilers without the
+// builtin. Used to pull the next block's context-ring rows in while the
+// current block's serial bit chain is still resolving.
+inline void prefetch_ro(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+
 // Compressed-size attribution per block section (encode side only; byte
 // granularity integrates accurately over many blocks). Feeds the Figure 4
 // component-breakdown bench.
@@ -66,17 +77,23 @@ struct SegmentRings {
   std::vector<std::array<util::tracked_vector<BlockState>, 2>> comps;
 };
 
+// Per-component Lakhani basis with the quantization step folded in
+// ([row] tables index [u][v], [col] tables [v][u]).
+//
+// (An AVX2 vpmuldq version of the edge dot products was tried and measured
+// a net loss here — the per-call int16→int64 widening and horizontal
+// reduction cost more than the ~15 scalar multiplies they replace, which
+// GCC already schedules well. The folded tables keep the scalar loop at
+// one multiply per term; see DESIGN.md "what didn't pay".)
+struct EdgeTables {
+  std::int64_t bq7_row[8][8];
+  std::int64_t bq0_row[8][8];
+  std::int64_t bq7_col[8][8];
+  std::int64_t bq0_col[8][8];
+};
+
 template <typename Ops>
 class SegmentCodec {
-  // Per-component Lakhani basis with the quantization step folded in
-  // ([row] tables index [u][v], [col] tables [v][u]).
-  struct EdgeTables {
-    std::int64_t bq7_row[8][8];
-    std::int64_t bq0_row[8][8];
-    std::int64_t bq7_col[8][8];
-    std::int64_t bq0_col[8][8];
-  };
-
  public:
   // `scratch` (optional) supplies reusable ring storage; when null the
   // codec owns its rings. Either way every slot starts invalid — a segment
@@ -166,6 +183,15 @@ class SegmentCodec {
     auto& cur_row = rings_->comps[ci][by & 1];
     auto& prev_row = rings_->comps[ci][(by - 1) & 1];
     BlockState& bs = cur_row[static_cast<std::size_t>(bx)];
+    // Pull the next block's context into cache while this block's serial
+    // bit chain runs: its above neighbour (read-only) and the far end of
+    // its ring slot. A BlockState is several lines; the two hottest are its
+    // coefficient array (offset 0) and the pixel rows used by DC prediction.
+    if (bx + 1 < static_cast<int>(cur_row.size())) {
+      const BlockState* nxt_above = &prev_row[static_cast<std::size_t>(bx + 1)];
+      prefetch_ro(nxt_above);
+      prefetch_ro(reinterpret_cast<const std::uint8_t*>(nxt_above) + 128);
+    }
     // Clear only what later reads depend on (ring slot reuse): the decode
     // side writes just the nonzero coefficients, so coef must start zeroed
     // (the encode side copies all 64 from truth); nz77/px_bottom/px_right/
@@ -238,11 +264,10 @@ class SegmentCodec {
       int nat = order[i];
       int avg_b = magnitude_bucket(wmag(nat));
       int rem_b = nz_count_bucket(remaining);
-      std::int32_t v = coding::code_value(
-          ops_, km.c77_exp.at(i).at(avg_b).at(rem_b).row(),
-          &km.c77_sign.at(i).at(avg_b).at(0),
-          km.c77_res.at(i).at(avg_b).row(), kAcMaxBits,
-          Ops::kEncoding ? blk[nat] : 0);
+      Coef77Bins& cb = km.c77.at(i).at(avg_b);
+      std::int32_t v =
+          coding::code_value(ops_, cb.exp_row(rem_b), &cb.sign, cb.res.data(),
+                             kAcMaxBits, Ops::kEncoding ? blk[nat] : 0);
       if constexpr (!Ops::kEncoding) {
         blk[nat] = static_cast<std::int16_t>(v);
       }
@@ -277,9 +302,9 @@ class SegmentCodec {
     if (pred.predicted_dc > 2047) pred.predicted_dc = 2047;
     if (pred.predicted_dc < -2048) pred.predicted_dc = -2048;
     int conf = confidence_bucket(pred.spread);
+    ValueBins<kDcDeltaBits>& db = km.dc.at(conf);
     std::int32_t delta = coding::code_value(
-        ops_, km.dc_exp.at(conf).row(), &km.dc_sign.at(conf).at(0),
-        km.dc_res.at(conf).row(), kDcDeltaBits,
+        ops_, db.exp.data(), &db.sign, db.res.data(), kDcDeltaBits,
         Ops::kEncoding ? blk[0] - pred.predicted_dc : 0);
     if constexpr (!Ops::kEncoding) {
       std::int32_t dc = pred.predicted_dc + delta;
@@ -302,6 +327,19 @@ class SegmentCodec {
   // signed_pred_bucket directly — the prediction is only ever consumed as
   // a bucket. Differs from the reference at round-to-nearest boundaries
   // only; encode and decode share it, so symmetry holds.
+  // Requantize a Lakhani numerator and bucket it: m = bit length of
+  // |pred| / q (truncating), clamped to 8 — the magnitude half of
+  // signed_pred_bucket without materializing the quotient.
+  static int bucket_from_num(std::int64_t num, std::uint32_t qq) {
+    std::int64_t pred_dq = num / jpegfmt::dct_basis_q20(0, 0);
+    std::uint64_t a = pred_dq < 0 ? static_cast<std::uint64_t>(-pred_dq)
+                                  : static_cast<std::uint64_t>(pred_dq);
+    if (qq == 0) qq = 1;
+    int m = 0;
+    while (m < 8 && a >= (static_cast<std::uint64_t>(qq) << m)) ++m;
+    return pred_dq < 0 ? 8 - m : 8 + m;
+  }
+
   int lakhani_bucket(const EdgeTables& t, int orientation, int index,
                      const std::int16_t* cur, const BlockState* neighbor,
                      const std::uint16_t* q) const {
@@ -327,16 +365,7 @@ class SegmentCodec {
       }
       qq = q[v];
     }
-    std::int64_t pred_dq = num / jpegfmt::dct_basis_q20(0, 0);
-    std::uint64_t a = pred_dq < 0 ? static_cast<std::uint64_t>(-pred_dq)
-                                  : static_cast<std::uint64_t>(pred_dq);
-    if (qq == 0) qq = 1;
-    // m = bit length of |pred| / q (truncating), clamped to 8 — the
-    // magnitude half of signed_pred_bucket without materializing the
-    // quotient.
-    int m = 0;
-    while (m < 8 && a >= (static_cast<std::uint64_t>(qq) << m)) ++m;
-    return pred_dq < 0 ? 8 - m : 8 + m;
+    return bucket_from_num(num, qq);
   }
 
   template <typename WMag>
@@ -374,11 +403,10 @@ class SegmentCodec {
       }
       int mb = magnitude_bucket(wmag(nat));
       if (mb > 3) mb = 3;
-      std::int32_t v = coding::code_value(
-          ops_, km.edge_exp.at(orientation).at(i - 1).at(pb).at(mb).row(),
-          &km.edge_sign.at(orientation).at(i - 1).at(pb).at(0),
-          km.edge_res.at(orientation).at(i - 1).at(pb).at(mb).row(),
-          kAcMaxBits, Ops::kEncoding ? blk[nat] : 0);
+      EdgeBins& eb = km.edge.at(orientation).at(i - 1).at(pb);
+      std::int32_t v =
+          coding::code_value(ops_, eb.exp_row(mb), &eb.sign, eb.res_row(mb),
+                             kAcMaxBits, Ops::kEncoding ? blk[nat] : 0);
       if constexpr (!Ops::kEncoding) {
         blk[nat] = static_cast<std::int16_t>(v);
       }

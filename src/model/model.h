@@ -20,6 +20,7 @@
 
 #include <array>
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <type_traits>
@@ -97,6 +98,8 @@ inline constexpr int kConfBuckets = 17; // confidence_bucket range
 inline constexpr int kAcMaxBits = 10;   // |AC| <= 1023 in 8-bit baseline
 inline constexpr int kDcDeltaBits = 13; // DC delta range after prediction
 
+inline constexpr int kEdgeMagBuckets = 4;  // coarse neighbour-magnitude dim
+
 // Bounds-clamped fixed-size branch row. Clamping (rather than asserting)
 // keeps hostile streams safe *and* keeps encoder/decoder symmetric: both
 // sides clamp the same way, so an out-of-range context still round-trips.
@@ -129,6 +132,69 @@ class BranchDim {
   std::array<Inner, Outer> d_{};
 };
 
+// ---- Value-coding clusters -------------------------------------------------
+//
+// The bins consulted to code one coefficient used to live in three separate
+// model-scale arrays (exp / sign / res, each indexed by the full context) —
+// so each coded value touched three cache lines hundreds of kilobytes
+// apart. The clusters below group the same bins by *access order* instead:
+// everything one `coding::code_value` call reads sits in one small struct
+// (exponent unary walk first, then sign, then residual), so one value's
+// bins span one or two cache lines and consecutive bits hit the same line.
+//
+// The clustering is pure relocation: every bin keeps exactly the context
+// conditioning it had (exp rows keep their extra remaining-count /
+// magnitude dimension; sign and residual stay conditioned on the outer
+// context only), so the coded byte stream is bit-identical to the previous
+// layout. The static_asserts after KindModel pin the layout contract.
+
+// Bins for one Exp-Golomb value whose exponent, sign and residual all share
+// one fully-resolved context (the DC delta). sizeof(Branch)*(2*MaxBits+2)
+// bytes — 112 for the DC's MaxBits = 13.
+template <int MaxBits>
+struct ValueBins {
+  std::array<Branch, MaxBits + 1> exp;
+  Branch sign;
+  std::array<Branch, MaxBits> res;
+};
+
+// 7x7 interior value bins for one (coefficient, neighbour-magnitude)
+// context. The exponent walk is additionally conditioned on the
+// remaining-nonzeros bucket (as before); sign/res are not. 484 bytes; the
+// stretch one code_value call walks (one 44-byte exp row, then the
+// adjacent sign+res run) stays within one or two cache lines each.
+struct Coef77Bins {
+  std::array<std::array<Branch, kAcMaxBits + 1>, kNzBuckets> exp;
+  Branch sign;
+  std::array<Branch, kAcMaxBits> res;
+
+  Branch* exp_row(int rem_b) {
+    if (rem_b < 0) rem_b = 0;
+    if (rem_b >= kNzBuckets) rem_b = kNzBuckets - 1;
+    return exp[static_cast<std::size_t>(rem_b)].data();
+  }
+};
+
+// Edge value bins for one (orientation, coefficient, Lakhani-prediction)
+// context. Exponent and residual keep their coarse neighbour-magnitude
+// dimension; sign does not. 340 bytes.
+struct EdgeBins {
+  std::array<std::array<Branch, kAcMaxBits + 1>, kEdgeMagBuckets> exp;
+  Branch sign;
+  std::array<std::array<Branch, kAcMaxBits>, kEdgeMagBuckets> res;
+
+  Branch* exp_row(int mb) {
+    if (mb < 0) mb = 0;
+    if (mb >= kEdgeMagBuckets) mb = kEdgeMagBuckets - 1;
+    return exp[static_cast<std::size_t>(mb)].data();
+  }
+  Branch* res_row(int mb) {
+    if (mb < 0) mb = 0;
+    if (mb >= kEdgeMagBuckets) mb = kEdgeMagBuckets - 1;
+    return res[static_cast<std::size_t>(mb)].data();
+  }
+};
+
 // Model state for one channel kind (luma or chroma). Sized so a per-thread
 // copy stays in the hundreds of kilobytes — the paper's hard decode budget
 // (24 MiB single-threaded incl. buffers, §4.2) is enforced upstream.
@@ -136,28 +202,80 @@ struct KindModel {
   // §A.2.1: 6-bit count tree, 10 neighbour buckets, 64 tree nodes.
   BranchDim<kNzBuckets, BranchRow<64>> nz77;
 
-  // 7x7 values.
-  BranchDim<kNum77, BranchDim<kAvgBuckets, BranchDim<kNzBuckets,
-      BranchRow<kAcMaxBits + 1>>>> c77_exp;
-  BranchDim<kNum77, BranchDim<kAvgBuckets, BranchRow<1>>> c77_sign;
-  BranchDim<kNum77, BranchDim<kAvgBuckets, BranchRow<kAcMaxBits>>> c77_res;
+  // 7x7 values: one cluster per (zigzag position, magnitude bucket).
+  BranchDim<kNum77, BranchDim<kAvgBuckets, Coef77Bins>> c77;
 
   // Edge (7x1 columns = orientation 0, 1x7 rows = orientation 1). Values
   // are additionally conditioned on the neighbouring blocks' magnitude at
   // the same coefficient (4 coarse buckets): the Lakhani prediction centres
   // the value, the neighbour magnitude scales the expected spread.
   BranchDim<2, BranchDim<8, BranchRow<8>>> edge_nz;  // 3-bit count tree
-  BranchDim<2, BranchDim<7, BranchDim<kPredBuckets, BranchDim<4,
-      BranchRow<kAcMaxBits + 1>>>>> edge_exp;
-  BranchDim<2, BranchDim<7, BranchDim<kPredBuckets, BranchRow<1>>>> edge_sign;
-  BranchDim<2, BranchDim<7, BranchDim<kPredBuckets, BranchDim<4,
-      BranchRow<kAcMaxBits>>>>> edge_res;
+  BranchDim<2, BranchDim<7, BranchDim<kPredBuckets, EdgeBins>>> edge;
 
-  // DC delta.
-  BranchDim<kConfBuckets, BranchRow<kDcDeltaBits + 1>> dc_exp;
-  BranchDim<kConfBuckets, BranchRow<1>> dc_sign;
-  BranchDim<kConfBuckets, BranchRow<kDcDeltaBits>> dc_res;
+  // DC delta: one self-contained cluster per confidence bucket.
+  BranchDim<kConfBuckets, ValueBins<kDcDeltaBits>> dc;
 };
+
+// ---- Layout contract -------------------------------------------------------
+//
+// The compile-time layout map below is the documented bin layout
+// (DESIGN.md §"Performance architecture"); the static_asserts make the
+// contract binding: clusters are exactly their bins (no padding anywhere —
+// a padded cluster would silently inflate the per-thread model copy and
+// break the memset-based reset), sections appear in coding order, and the
+// whole model stays memset-resettable.
+struct KindModelLayout {
+  std::size_t nz77_off, nz77_bins;
+  std::size_t c77_off, c77_bins;
+  std::size_t edge_nz_off, edge_nz_bins;
+  std::size_t edge_off, edge_bins;
+  std::size_t dc_off, dc_bins;
+};
+
+inline constexpr KindModelLayout kKindModelLayout = {
+    offsetof(KindModel, nz77), std::size_t{kNzBuckets} * 64,
+    offsetof(KindModel, c77),
+    std::size_t{kNum77} * kAvgBuckets *
+        (kNzBuckets * (kAcMaxBits + 1) + 1 + kAcMaxBits),
+    offsetof(KindModel, edge_nz), std::size_t{2} * 8 * 8,
+    offsetof(KindModel, edge),
+    std::size_t{2} * 7 * kPredBuckets *
+        (kEdgeMagBuckets * (kAcMaxBits + 1) + 1 + kEdgeMagBuckets * kAcMaxBits),
+    offsetof(KindModel, dc), std::size_t{kConfBuckets} * (2 * kDcDeltaBits + 2),
+};
+
+// Clusters contain exactly their bins — no padding.
+static_assert(sizeof(Coef77Bins) ==
+              sizeof(Branch) * (kNzBuckets * (kAcMaxBits + 1) + 1 + kAcMaxBits));
+static_assert(sizeof(EdgeBins) ==
+              sizeof(Branch) * (kEdgeMagBuckets * (kAcMaxBits + 1) + 1 +
+                                kEdgeMagBuckets * kAcMaxBits));
+static_assert(sizeof(ValueBins<kDcDeltaBits>) ==
+              sizeof(Branch) * (2 * kDcDeltaBits + 2));
+// One 7x7 cluster spans one-or-two cache lines per coded value: the widest
+// stretch a single code_value call walks (one exp row, then sign+res) is
+// well under two 64-byte lines.
+static_assert(sizeof(Branch) * (kAcMaxBits + 1) <= 64);
+static_assert(sizeof(Branch) * (1 + kAcMaxBits) <= 64);
+// Sections appear in coding order (nz count → 7x7 → edge → DC) and tile the
+// struct exactly.
+static_assert(kKindModelLayout.nz77_off == 0);
+static_assert(kKindModelLayout.c77_off ==
+              kKindModelLayout.nz77_off +
+                  sizeof(Branch) * kKindModelLayout.nz77_bins);
+static_assert(kKindModelLayout.edge_nz_off ==
+              kKindModelLayout.c77_off +
+                  sizeof(Branch) * kKindModelLayout.c77_bins);
+static_assert(kKindModelLayout.edge_off ==
+              kKindModelLayout.edge_nz_off +
+                  sizeof(Branch) * kKindModelLayout.edge_nz_bins);
+static_assert(kKindModelLayout.dc_off ==
+              kKindModelLayout.edge_off +
+                  sizeof(Branch) * kKindModelLayout.edge_bins);
+static_assert(sizeof(KindModel) ==
+              kKindModelLayout.dc_off +
+                  sizeof(Branch) * kKindModelLayout.dc_bins);
+static_assert(alignof(KindModel) == alignof(Branch));
 
 // Full model: separate statistics for luma (component 0) and chroma.
 struct ProbabilityModel {
@@ -166,15 +284,29 @@ struct ProbabilityModel {
     return kinds[comp_idx == 0 ? 0 : 1];
   }
 
-  // Returns every bin to the 50-50 prior without touching the heap: a
-  // freshly constructed Branch holds virtual counts 1/1, i.e. the byte
-  // pattern 0x01 0x01, so one memset reproduces construction exactly. This
-  // is what lets a long-lived CodecContext reuse one model allocation per
-  // worker across files (no model-sized allocation after warm-up).
+  // Returns every bin to the 50-50 prior without touching the heap: the
+  // model is (statically asserted to be) a dense array of Branch, so
+  // stamping a freshly constructed Branch's four bytes across the storage
+  // reproduces construction exactly. The stamp runs as a memcpy-doubling
+  // fill (memcpy is the blessed way to write trivially-copyable object
+  // representations; a reinterpret_cast'ed word fill would be an aliasing
+  // violation) and costs the same as the memset it replaces. This is what
+  // lets a long-lived CodecContext reuse one model allocation per worker
+  // across files (no model-sized allocation after warm-up).
   void reset() {
     static_assert(std::is_trivially_copyable_v<KindModel>);
     static_assert(sizeof(KindModel) % sizeof(coding::Branch) == 0);
-    std::memset(static_cast<void*>(kinds.data()), 0x01, sizeof(kinds));
+    const coding::Branch fresh{};
+    auto* dst = reinterpret_cast<unsigned char*>(kinds.data());
+    std::memcpy(dst, &fresh, sizeof(fresh));
+    std::size_t filled = sizeof(fresh);
+    while (filled < sizeof(kinds)) {
+      std::size_t chunk = filled < sizeof(kinds) - filled
+                              ? filled
+                              : sizeof(kinds) - filled;
+      std::memcpy(dst + filled, dst, chunk);
+      filled += chunk;
+    }
   }
 };
 

@@ -1,0 +1,73 @@
+#include "util/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace lepton::util {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#define LEPTON_X86 1
+#else
+#define LEPTON_X86 0
+#endif
+
+SimdLevel detect() {
+#if LEPTON_X86 && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kSse2;  // SSE2 is the x86-64 ABI baseline
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel parse_level(const char* s, SimdLevel fallback) {
+  if (s == nullptr) return fallback;
+  if (std::strcmp(s, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(s, "sse2") == 0) return SimdLevel::kSse2;
+  if (std::strcmp(s, "avx2") == 0) return SimdLevel::kAvx2;
+  return fallback;
+}
+
+// -1 = no programmatic override; otherwise a SimdLevel value.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+SimdLevel detected_simd() {
+  static const SimdLevel level = detect();
+  return level;
+}
+
+SimdLevel active_simd() {
+  SimdLevel det = detected_simd();
+  int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) {
+    auto lvl = static_cast<SimdLevel>(forced);
+    return lvl < det ? lvl : det;
+  }
+  static const SimdLevel env_level =
+      parse_level(std::getenv("LEPTON_SIMD"), det);
+  return env_level < det ? env_level : det;
+}
+
+void force_simd_level(SimdLevel level) {
+  g_forced.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_simd_override() {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+}  // namespace lepton::util

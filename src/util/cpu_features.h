@@ -1,0 +1,38 @@
+// Runtime CPU feature detection and SIMD dispatch control.
+//
+// Vectorized hot paths (the decode-side Huffman re-encode, scan_simd.h)
+// pick their implementation at runtime through this shim: the scalar
+// fallback is always compiled and always available, SSE2 is the x86-64
+// baseline, AVX2 is used only when the CPU reports it. Tests and CI pin
+// the level — programmatically via force_simd_level(), or with the
+// LEPTON_SIMD environment variable (scalar|sse2|avx2, read once at first
+// query) — so the scalar fallback stays exercised on AVX2 machines and a
+// SIMD-forced run can be diffed against it (the dispatch rule is: active =
+// min(requested, detected); requesting more than the CPU has clamps down,
+// never up).
+#pragma once
+
+namespace lepton::util {
+
+enum class SimdLevel { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+// Highest level this CPU supports (kScalar on non-x86 builds). Constant for
+// the life of the process; cached after the first query.
+SimdLevel detected_simd();
+
+// The level dispatch sites should use right now: the forced level if one is
+// set (clamped to detected), the LEPTON_SIMD environment override if set,
+// otherwise detected. Cheap enough to consult per dispatch.
+SimdLevel active_simd();
+
+// Pins dispatch at `level` (clamped to detected) until called again;
+// kScalar exercises the fallback on any machine. Thread-safe; intended for
+// tests, benches and the CI scalar-pinned run.
+void force_simd_level(SimdLevel level);
+
+// Clears a force_simd_level() pin, returning to env-or-detected dispatch.
+void clear_simd_override();
+
+const char* simd_level_name(SimdLevel level);
+
+}  // namespace lepton::util

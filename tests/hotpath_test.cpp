@@ -101,7 +101,7 @@ TEST(CodecContext, ModelResetEqualsFreshModel) {
   auto fresh = std::make_unique<lepton::model::ProbabilityModel>();
   for (int i = 0; i < 1000; ++i) {
     used->kinds[0].nz77.at(i % 10).at(i % 64).record((i & 1) != 0);
-    used->kinds[1].dc_sign.at(i % 17).at(0).record((i & 2) != 0);
+    used->kinds[1].dc.at(i % 17).sign.record((i & 2) != 0);
   }
   ASSERT_NE(std::memcmp(used.get(), fresh.get(), sizeof(*used)), 0);
   used->reset();
