@@ -1,14 +1,18 @@
 // Hot-path microbench: measures the primitives rewritten by the
 // performance overhauls (batched 64-bit bit reader, bool-coder adaptive and
-// literal paths) against in-binary per-bit reference implementations,
-// attributes the adaptive-model levers separately (bin cluster layout,
-// speculative multi-bit decode, SIMD Huffman re-encode, AVX2 IDCT pass),
-// and reports single-thread whole-codec encode/decode throughput through
-// one warm CodecContext on the generated corpus. Emits BENCH_hotpath.json
-// so future PRs have a perf trajectory (no google-benchmark dependency:
-// plain steady_clock with best-of-N via bench::best_of).
+// literal paths, the encode-side context-plane pipeline) against in-binary
+// per-bit / per-block reference implementations, attributes the levers
+// separately (bin cluster layout, speculative multi-bit decode, SIMD
+// Huffman re-encode, AVX2 IDCT pass, fused-refill scan parse, plane
+// precompute, plane-fed model loop), and reports single-thread whole-codec
+// encode/decode throughput through one warm CodecContext on the generated
+// corpus. Appends one per-PR entry to the BENCH_hotpath.json *trajectory*
+// (an array of entries; any existing entry for the same PR is replaced) so
+// future PRs can diff against every predecessor (no google-benchmark
+// dependency: plain steady_clock with best-of-N via bench::best_of).
 //
-// Flags: --full for the larger corpus band, --out <path> for the JSON.
+// Flags: --full for the larger corpus band, --out <path> for the JSON,
+// --pr <n> for the trajectory entry id (default: this PR).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -25,7 +29,10 @@
 #include "jpeg/scan_decoder.h"
 #include "jpeg/scan_encoder.h"
 #include "jpeg/stuffed_bitio.h"
+#include "lepton/context.h"
 #include "lepton/lepton.h"
+#include "model/block_codec.h"
+#include "model/context_plane.h"
 #include "model/model.h"
 #include "util/cpu_features.h"
 #include "util/rng.h"
@@ -287,6 +294,133 @@ ReencodeRates reencode_lever(const std::vector<std::uint8_t>& jpeg) {
   return {bytes / 1e6 / cs, bytes / 1e6 / ss};
 }
 
+// ---- encode-path levers: scan parse, context plane, model loop -------------
+//
+// The staged encode pipeline's three stages, attributed separately:
+// the fused-refill Huffman scan parse (MB/s over the real scan bytes),
+// the context-plane precompute (Mblocks/s over the decoded coefficient
+// images), and the plane-fed vs derive-in-loop adaptive model loop
+// (Mvalues/s over the same segment encode — identical byte output, the
+// plane path consumes precomputed buckets).
+
+struct EncodePathRates {
+  double parse_mbps;
+  double plane_precompute_mblocks;
+  double model_plane_mvals;
+  double model_ref_mvals;
+  double model_plane_mblocks;
+};
+
+// Coded values per block (count trees + coded coefficients + DC): the
+// denominators for the model-loop Mvalues/s rates.
+std::uint64_t coded_values_in(const lepton::jpegfmt::CoeffImage& ci) {
+  const auto& order = lepton::model::interior77().zigzag_order;
+  std::uint64_t vals = 0;
+  for (const auto& comp : ci.comps) {
+    for (int by = 0; by < comp.height_blocks; ++by) {
+      for (int bx = 0; bx < comp.width_blocks; ++bx) {
+        const std::int16_t* blk = comp.block(bx, by);
+        vals += 4;  // nz77 tree + two edge trees + DC
+        int nz = 0;
+        for (int i = 0; i < lepton::model::kNum77; ++i) nz += blk[order[i]] != 0;
+        int remaining = nz;
+        for (int i = 0; i < lepton::model::kNum77 && remaining > 0; ++i) {
+          ++vals;
+          if (blk[order[i]] != 0) --remaining;
+        }
+        for (int orientation = 0; orientation < 2; ++orientation) {
+          int count = 0;
+          for (int i = 1; i < 8; ++i) {
+            count += blk[orientation == 0 ? i * 8 : i] != 0;
+          }
+          for (int i = 1; i < 8 && count > 0; ++i) {
+            ++vals;
+            if (blk[orientation == 0 ? i * 8 : i] != 0) --count;
+          }
+        }
+      }
+    }
+  }
+  return vals;
+}
+
+EncodePathRates encode_path_levers(
+    const std::vector<std::vector<std::uint8_t>>& files) {
+  namespace jf = lepton::jpegfmt;
+  namespace lm = lepton::model;
+  std::vector<jf::JpegFile> jfs;
+  std::vector<jf::ScanDecodeResult> decs;
+  double scan_bytes = 0;
+  std::uint64_t blocks = 0, values = 0;
+  for (const auto& f : files) {
+    jfs.push_back(jf::parse_jpeg({f.data(), f.size()}));
+    scan_bytes += static_cast<double>(jfs.back().scan_bytes().size());
+    decs.push_back(jf::decode_scan(jfs.back()));
+    for (const auto& c : jfs.back().frame.comps) {
+      blocks += static_cast<std::uint64_t>(c.width_blocks) * c.height_blocks;
+    }
+    values += coded_values_in(decs.back().coeffs);
+  }
+
+  EncodePathRates r{};
+  // Stage 1: the fused-refill Huffman parse.
+  r.parse_mbps = scan_bytes / 1e6 / best_of(5, [&] {
+    for (const auto& j : jfs) {
+      auto d = jf::decode_scan(j);
+      keep(d.coeffs.comps.size());
+    }
+  });
+
+  // Stage 2: the context-plane precompute alone, driven through the same
+  // precompute_mcu_row wiring the encoder's plane path runs.
+  lm::ContextPlane plane;
+  lm::ModelOptions mo;
+  const auto kernels = jf::simd::context_kernels();
+  r.plane_precompute_mblocks = blocks / 1e6 / best_of(5, [&] {
+    for (std::size_t fi = 0; fi < jfs.size(); ++fi) {
+      const auto& frame = jfs[fi].frame;
+      plane.reshape(frame);
+      std::array<lm::EdgeTables, 4> et{};
+      for (std::size_t c = 0; c < frame.comps.size(); ++c) {
+        lm::build_edge_tables(et[c],
+                              jfs[fi].qtables[frame.comps[c].quant_idx].q.data());
+      }
+      for (int my = 0; my < frame.mcus_y; ++my) {
+        lm::precompute_mcu_row(plane, jfs[fi], decs[fi].coeffs, my, my > 0,
+                               et.data(), mo, kernels);
+      }
+    }
+  });
+
+  // Stage 3: the whole model loop (one segment over the image), plane-fed
+  // vs derive-in-loop. Identical byte output; only context derivation
+  // moves.
+  auto model_encode = [&](bool use_plane) {
+    auto pm = std::make_unique<lm::ProbabilityModel>();
+    std::vector<std::uint8_t> buf;
+    return best_of(5, [&] {
+      for (std::size_t fi = 0; fi < jfs.size(); ++fi) {
+        pm->reset();
+        lepton::coding::BoolEncoder enc(&buf);
+        lm::SegmentCodec<lepton::coding::EncodeOps> codec(
+            lepton::coding::EncodeOps{&enc}, *pm, jfs[fi], mo);
+        if (use_plane) codec.attach_plane(&plane);
+        for (int my = 0; my < jfs[fi].frame.mcus_y; ++my) {
+          codec.code_mcu_row(my, &decs[fi].coeffs);
+        }
+        enc.finish_into_buffer();
+        keep(buf.size());
+      }
+    });
+  };
+  double tp = model_encode(true);
+  double tr = model_encode(false);
+  r.model_plane_mvals = values / 1e6 / tp;
+  r.model_ref_mvals = values / 1e6 / tr;
+  r.model_plane_mblocks = blocks / 1e6 / tp;
+  return r;
+}
+
 // ---- lever 4: AVX2 IDCT column pass ----------------------------------------
 
 struct IdctRates {
@@ -330,11 +464,77 @@ IdctRates idct_lever() {
 
 }  // namespace
 
+// The trajectory file is an array of flat per-PR objects. Entries are
+// split on top-level braces (ours are flat — no nested objects); a legacy
+// single-object file is adopted as the PR 3 entry it was written by.
+std::vector<std::string> read_trajectory_entries(const std::string& path,
+                                                 int drop_pr) {
+  std::vector<std::string> entries;
+  FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) return entries;
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) text.append(buf, n);
+  std::fclose(in);
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\n')) ++i;
+  bool legacy_object = i < text.size() && text[i] == '{';
+  std::string cur;
+  int depth = 0;
+  bool in_string = false;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    // Braces inside string values (e.g. a free-text "note") must not
+    // affect the entry split.
+    if (in_string) {
+      if (depth > 0) cur.push_back(c);
+      if (c == '\\' && i + 1 < text.size()) {
+        if (depth > 0) cur.push_back(text[i + 1]);
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      if (depth > 0) cur.push_back(c);
+      continue;
+    }
+    if (c == '{') {
+      if (++depth == 1) cur.clear();
+    }
+    if (depth > 0) cur.push_back(c);
+    if (c == '}' && --depth == 0) {
+      if (legacy_object && cur.find("\"pr\"") == std::string::npos) {
+        // Adopt the pre-trajectory single object as the PR 3 entry.
+        cur.insert(1, "\n  \"pr\": 3,");
+      }
+      int entry_pr = -1;
+      std::size_t p = cur.find("\"pr\"");
+      if (p != std::string::npos) {
+        p = cur.find(':', p);
+        if (p != std::string::npos) entry_pr = std::atoi(cur.c_str() + p + 1);
+      }
+      if (entry_pr != drop_pr) entries.push_back(cur);
+    }
+  }
+  return entries;
+}
+
+// This PR's trajectory entry id — the single place to bump per perf PR
+// (run_bench.sh and CI inherit it; `--pr N` / PR=<n> override for
+// re-measuring an old build).
+constexpr int kCurrentPr = 4;
+
 int main(int argc, char** argv) {
   bool full = bench::want_full(argc, argv);
   std::string out_path = "BENCH_hotpath.json";
+  int pr = kCurrentPr;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+    if (std::string(argv[i]) == "--pr") pr = std::atoi(argv[i + 1]);
   }
 
   bench::header("micro_hotpath: bit I/O, bool coder, single-thread codec",
@@ -418,13 +618,39 @@ int main(int argc, char** argv) {
               lepton::util::simd_level_name(lepton::util::detected_simd()),
               re.simd_mbps, re.scalar_mbps, re.simd_mbps / re.scalar_mbps);
 
+  // ---- encode-path levers (staged pipeline attribution) ----
+  auto ep = encode_path_levers(files);
+  std::printf("scan parse      : fused refills %6.2f MB/s\n", ep.parse_mbps);
+  std::printf("context plane   : precompute %5.2f Mblocks/s\n",
+              ep.plane_precompute_mblocks);
+  std::printf("model loop      : plane %5.2f / derive-in-loop %5.2f Mvalues/s (%.2fx)\n",
+              ep.model_plane_mvals, ep.model_ref_mvals,
+              ep.model_plane_mvals / ep.model_ref_mvals);
+
+  // ---- whole-encode with the plane off: the pipeline's end-to-end lever ----
+  lepton::EncodeOptions eoff = eopt;
+  eoff.use_context_plane = false;
+  double es_ref = best_of(5, [&] {
+    for (const auto& f : files) {
+      auto e = ctx.encode({f.data(), f.size()}, eoff);
+      if (!e.ok()) std::abort();
+    }
+  });
+  double enc_ref_mbps = mb / es_ref;
+  std::printf("encode pipeline : plane %5.2f / reference %5.2f MB/s   (%.2fx)\n",
+              enc_mbps, enc_ref_mbps, enc_mbps / enc_ref_mbps);
+
+  std::vector<std::string> entries = read_trajectory_entries(out_path, pr);
   FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
+  std::fprintf(out, "[\n");
+  for (const auto& e : entries) std::fprintf(out, "%s,\n", e.c_str());
   std::fprintf(out,
                "{\n"
+               "  \"pr\": %d,\n"
                "  \"bit_reader_batched_MBps\": %.2f,\n"
                "  \"bit_reader_per_bit_MBps\": %.2f,\n"
                "  \"bit_reader_speedup\": %.3f,\n"
@@ -445,14 +671,23 @@ int main(int argc, char** argv) {
                "  \"idct_simd_ns_per_block\": %.1f,\n"
                "  \"idct_scalar_ns_per_block\": %.1f,\n"
                "  \"idct_speedup\": %.3f,\n"
+               "  \"encode_parse_MBps\": %.2f,\n"
+               "  \"plane_precompute_Mblocks\": %.2f,\n"
+               "  \"model_loop_plane_Mvals\": %.2f,\n"
+               "  \"model_loop_ref_Mvals\": %.2f,\n"
+               "  \"model_loop_speedup\": %.3f,\n"
+               "  \"encode_plane_MBps\": %.2f,\n"
+               "  \"encode_reference_MBps\": %.2f,\n"
+               "  \"encode_plane_speedup\": %.3f,\n"
                "  \"simd_level\": \"%s\",\n"
                "  \"codec_encode_MBps\": %.2f,\n"
                "  \"codec_decode_MBps\": %.2f,\n"
                "  \"codec_combined_MBps\": %.2f,\n"
                "  \"corpus_files\": %zu,\n"
                "  \"corpus_MB\": %.2f\n"
-               "}\n",
-               rd_batched, rd_per_bit, rd_batched / rd_per_bit,
+               "}\n"
+               "]\n",
+               pr, rd_batched, rd_per_bit, rd_batched / rd_per_bit,
                bc.encode_adaptive_mbits, bc.decode_adaptive_mbits,
                bc.encode_literal_mbits, bc.decode_literal_mbits,
                bc.encode_literal_mbits / bc.encode_adaptive_mbits,
@@ -460,10 +695,14 @@ int main(int argc, char** argv) {
                lay.clustered_mvals / lay.scattered_mvals, spec.spec_mvals,
                spec.ref_mvals, spec.spec_mvals / spec.ref_mvals, re.simd_mbps,
                re.scalar_mbps, re.simd_mbps / re.scalar_mbps, idct.simd_ns,
-               idct.scalar_ns, idct.scalar_ns / idct.simd_ns,
+               idct.scalar_ns, idct.scalar_ns / idct.simd_ns, ep.parse_mbps,
+               ep.plane_precompute_mblocks, ep.model_plane_mvals,
+               ep.model_ref_mvals, ep.model_plane_mvals / ep.model_ref_mvals,
+               enc_mbps, enc_ref_mbps, enc_mbps / enc_ref_mbps,
                lepton::util::simd_level_name(lepton::util::detected_simd()),
                enc_mbps, dec_mbps, combined, files.size(), mb);
   std::fclose(out);
-  std::printf("\nwrote %s\n", out_path.c_str());
+  std::printf("\nwrote %s (trajectory entry pr=%d, %zu prior entries kept)\n",
+              out_path.c_str(), pr, entries.size());
   return 0;
 }

@@ -1,20 +1,32 @@
 #!/usr/bin/env bash
-# Runs the hot-path microbench and writes BENCH_hotpath.json at the repo
-# root — the committed perf trajectory every perf PR compares against
-# (ISSUE 3 acceptance; DESIGN.md §"Performance architecture").
+# Runs the hot-path microbench and appends this PR's entry to the committed
+# repo-root BENCH_hotpath.json *trajectory* — an array with one entry per
+# perf PR (seeded with the PR 1/PR 3 numbers; a re-run replaces the entry
+# for the same PR id). Also runs the encode thread-scaling sweep (Figure 8)
+# so the encode-side pipeline's scaling behaviour is captured alongside the
+# single-thread levers.
 #
 # Usage: bench/run_bench.sh [build-dir] [-- extra micro_hotpath args]
 # The build dir defaults to ./build and is configured+built if missing.
+# PR=<n> overrides the trajectory entry id (default: micro_hotpath's
+# kCurrentPr — bump that constant once per perf PR).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-if [[ ! -x "$build_dir/micro_hotpath" ]]; then
+if [[ ! -x "$build_dir/micro_hotpath" || ! -x "$build_dir/fig08_encode_speed_threads" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$build_dir" --target micro_hotpath -j "$(nproc)"
+  cmake --build "$build_dir" --target micro_hotpath fig08_encode_speed_threads \
+    -j "$(nproc)"
 fi
 
 shift $(( $# > 0 ? 1 : 0 )) || true
-"$build_dir/micro_hotpath" --out "$repo_root/BENCH_hotpath.json" "$@"
-echo "wrote $repo_root/BENCH_hotpath.json"
+pr_args=()
+if [[ -n "${PR:-}" ]]; then pr_args=(--pr "$PR"); fi
+"$build_dir/micro_hotpath" --out "$repo_root/BENCH_hotpath.json" \
+  "${pr_args[@]}" "$@"
+
+echo
+"$build_dir/fig08_encode_speed_threads" | tee "$build_dir/fig08_encode_speed_threads.txt"
+echo "wrote $build_dir/fig08_encode_speed_threads.txt"

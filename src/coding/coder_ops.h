@@ -170,49 +170,21 @@ inline std::uint32_t code_tree(DecodeOps& ops, Branch* tree_branches, int bits,
   return node - (1u << bits);
 }
 
-// Exp-Golomb decode: the unary exponent walk runs in prepared chunks of up
-// to 4 adaptive bits with the next exponent bin's probability preloaded
-// (the clustered layout keeps the whole walk on one or two lines); sign and
-// the adaptive top residual bit share one more prepared pair.
+// Exp-Golomb decode. A prepared-chunk walk of the unary exponent (chunks
+// of 4 or 6, with or without next-bin probability preloads) was measured
+// *slower* than the plain per-bit walk on every tried tuning (ISSUE 4's
+// spec_decode_speedup 0.961 regression): one adaptive bit's refill check
+// is a single well-predicted compare, so chunking only adds loop overhead
+// here — unlike code_tree above, where the chunk walk carries the
+// both-children preload that does pay. This overload therefore delegates
+// to the per-bit reference template; it exists so the speculative-path
+// seam (and its fuzz coverage) stays in place. See DESIGN.md "what didn't
+// pay".
 inline std::int32_t code_value(DecodeOps& ops, Branch* exp_branches,
                                Branch* sign_branch, Branch* res_branches,
-                               int max_bits, std::int32_t /*hint*/) {
-  BoolDecoder* dec = ops.dec;
-  int e = 0;
-  bool more = true;
-  while (more && e < max_bits) {
-    int chunk = max_bits - e;
-    if (chunk > 4) chunk = 4;
-    dec->prepare(chunk);
-    std::uint8_t p = exp_branches[e].prob_zero();
-    for (int j = 0; j < chunk; ++j) {
-      std::uint8_t pn =
-          e + 1 < max_bits ? exp_branches[e + 1].prob_zero() : 0;
-      more = dec->get_prepared(p);
-      exp_branches[e].record(more);
-      if (!more) break;
-      ++e;
-      p = pn;
-    }
-  }
-  if (e == 0) return 0;
-
-  dec->prepare(2);
-  bool negative = dec->get_prepared(sign_branch->prob_zero());
-  sign_branch->record(negative);
-
-  std::uint32_t mag = 1;  // implicit leading 1
-  if (e >= 2) {
-    int top = e - 2;  // highest residual bit: adaptive
-    bool bit = dec->get_prepared(res_branches[top].prob_zero());
-    res_branches[top].record(bit);
-    mag = (mag << 1) | (bit ? 1u : 0u);
-    if (top > 0) {  // remaining low bits: batched raw literals
-      mag = (mag << top) | dec->get_literal(top);
-    }
-  }
-  auto result = static_cast<std::int32_t>(mag);
-  return negative ? -result : result;
+                               int max_bits, std::int32_t hint) {
+  return code_value<DecodeOps>(ops, exp_branches, sign_branch, res_branches,
+                               max_bits, hint);
 }
 
 }  // namespace lepton::coding

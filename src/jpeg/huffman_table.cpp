@@ -50,17 +50,17 @@ HuffmanTable HuffmanTable::build(std::span<const std::uint8_t> counts16,
     code <<= 1;
   }
 
-  // First-level decode LUT: every 8-bit stream prefix that begins with a
-  // code of length <= 8 maps straight to (len << 8) | symbol.
+  // First-level decode LUT: every kLutBits-bit stream prefix that begins
+  // with a code of length <= kLutBits maps straight to (len << 8) | symbol.
   k = 0;
   code = 0;
-  for (int len = 1; len <= 8; ++len) {
+  for (int len = 1; len <= kLutBits; ++len) {
     int n = counts16[len - 1];
     for (int i = 0; i < n; ++i, ++k) {
-      std::uint32_t first = code << (8 - len);
-      std::uint32_t span = 1u << (8 - len);
+      std::uint32_t first = code << (kLutBits - len);
+      std::uint32_t span = 1u << (kLutBits - len);
       for (std::uint32_t s = 0; s < span; ++s) {
-        t.lut8_[first + s] = static_cast<std::uint16_t>(
+        t.lut_[first + s] = static_cast<std::uint16_t>(
             (static_cast<std::uint32_t>(len) << 8) | t.symbols_[k]);
       }
       ++code;

@@ -35,16 +35,22 @@ class HuffmanTable {
 
   // -- Decode view ---------------------------------------------------------
 
+  // First-level decode LUT width: 10 bits covers every code of the common
+  // tables (the standard Annex K tables put all frequent symbols at <= 10
+  // bits), so the canonical fallback runs only for rare long codes. 2 KiB
+  // per table keeps all four tables of a scan resident in L1.
+  static constexpr int kLutBits = 10;
+
   // Fast path: decodes one symbol from the next 16 bits of the stream
   // (MSB-first, as returned by StuffedBitReader::peek(16)). Returns
-  // (length << 8) | symbol, or 0 if no code matches. Codes of length <= 8
-  // resolve with a single 256-entry table lookup; longer codes fall back to
+  // (length << 8) | symbol, or 0 if no code matches. Codes of length <=
+  // kLutBits resolve with a single table lookup; longer codes fall back to
   // the canonical min/max compare. Exactly equivalent to decode() when at
   // least 16 bits are available.
   std::uint32_t decode16(std::uint32_t bits16) const {
-    std::uint32_t hit = lut8_[bits16 >> 8];
+    std::uint32_t hit = lut_[bits16 >> (16 - kLutBits)];
     if (hit != 0) return hit;
-    for (int len = 9; len <= 16; ++len) {
+    for (int len = kLutBits + 1; len <= 16; ++len) {
       std::uint32_t code = bits16 >> (16 - len);
       if (max_code_[len] >= 0 &&
           static_cast<std::int32_t>(code) <= max_code_[len] &&
@@ -100,9 +106,10 @@ class HuffmanTable {
   // Encode tables.
   std::array<std::uint16_t, 256> enc_code_{};
   std::array<std::uint8_t, 256> enc_len_{};
-  // First-level decode LUT keyed by the next 8 stream bits: (len << 8) |
-  // symbol for codes of length <= 8, 0 = longer code or no match.
-  std::array<std::uint16_t, 256> lut8_{};
+  // First-level decode LUT keyed by the next kLutBits stream bits:
+  // (len << 8) | symbol for codes of length <= kLutBits, 0 = longer code
+  // or no match.
+  std::array<std::uint16_t, (1u << kLutBits)> lut_{};
 };
 
 // Builds an optimal (length-limited, canonical) Huffman table for the given

@@ -13,10 +13,10 @@ using util::ExitCode;
   throw ParseError(c, msg);
 }
 
-// Decodes one Huffman symbol. The common case resolves through the 16-bit
-// peek + table lookup (one refill check, no per-bit loop); only the last
-// few symbols of the stream — when fewer than 16 bits remain buffered —
-// take the canonical per-bit path. Returns -1 on no match / truncation.
+// Slow-path symbol decode for the tail of the stream (fewer than a fused
+// window's worth of bits buffered): 16-bit peek when possible, canonical
+// per-bit walk for the very last symbols. Returns -1 on no match /
+// truncation.
 int decode_symbol(StuffedBitReader& rd, const HuffmanTable& t) {
   if (rd.ensure(16)) {
     std::uint32_t hit = t.decode16(rd.peek(16));
@@ -39,11 +39,12 @@ int extend_sign(std::int32_t v, int size) {
   return v;
 }
 
-struct McuPos {
-  int comp;
-  int bx;
-  int by;
-};
+// Fused refill windows: one ensure() covers a whole Huffman symbol plus its
+// magnitude bits, so the per-coefficient chain runs peek/consume only — no
+// second refill check between code and value, no truncation branch per
+// get_bits. DC: 16-bit code + up to 11 value bits; AC: 16 + up to 10.
+inline constexpr int kDcFusedBits = 27;
+inline constexpr int kAcFusedBits = 26;
 
 }  // namespace
 
@@ -74,13 +75,29 @@ ScanDecodeResult decode_scan(const JpegFile& jf) {
       static_cast<std::uint32_t>(fr.mcus_x) * static_cast<std::uint32_t>(fr.mcus_y);
   if (total_mcus == 0) fail(ExitCode::kUnsupportedJpeg, "no MCUs");
 
-  // Per-MCU block layout (component, intra-MCU block coordinates).
-  std::vector<McuPos> layout;
+  // Per-MCU block layout with everything the block loop consults hoisted
+  // out of it: the component's coefficient plane and its Huffman tables are
+  // resolved once here instead of per block. Coefficients land directly in
+  // the CoeffImage row plane (row-major blocks), which is the layout the
+  // encode-side context-plane precompute walks.
+  struct McuSlot {
+    ComponentCoeffs* cc;
+    const HuffmanTable* dct;
+    const HuffmanTable* act;
+    int comp;
+    int h_samp;
+    int v_samp;
+    int bx;
+    int by;
+  };
+  std::vector<McuSlot> layout;
   for (int ci = 0; ci < fr.ncomp(); ++ci) {
     const auto& comp = fr.comps[ci];
     for (int by = 0; by < comp.v_samp; ++by) {
       for (int bx = 0; bx < comp.h_samp; ++bx) {
-        layout.push_back({ci, bx, by});
+        layout.push_back({&out.coeffs.comps[static_cast<std::size_t>(ci)],
+                          &jf.dc_tables[comp.dc_tbl], &jf.ac_tables[comp.ac_tbl],
+                          ci, comp.h_samp, comp.v_samp, bx, by});
       }
     }
   }
@@ -129,65 +146,113 @@ ScanDecodeResult decode_scan(const JpegFile& jf) {
         }
       }
 
-      for (const auto& mp : layout) {
-        const auto& comp = fr.comps[mp.comp];
-        auto& cc = out.coeffs.comps[mp.comp];
-        int bx = (fr.ncomp() == 1) ? mx : mx * comp.h_samp + mp.bx;
-        int by = (fr.ncomp() == 1) ? my : my * comp.v_samp + mp.by;
-        std::int16_t* blk = cc.block(bx, by);
+      for (const auto& sl : layout) {
+        int bx = (fr.ncomp() == 1) ? mx : mx * sl.h_samp + sl.bx;
+        int by = (fr.ncomp() == 1) ? my : my * sl.v_samp + sl.by;
+        std::int16_t* blk = sl.cc->block(bx, by);
+        const HuffmanTable& dct = *sl.dct;
+        const HuffmanTable& act = *sl.act;
 
         // ---- DC ----
-        const auto& dct = jf.dc_tables[comp.dc_tbl];
-        const auto& act = jf.ac_tables[comp.ac_tbl];
-        int s = decode_symbol(rd, dct);
-        if (s < 0) fail(ExitCode::kUnsupportedJpeg, "bad DC code");
-        if (s > 11) fail(ExitCode::kAcOutOfRange, "DC size > 11");
-        out.stats.bits_dc += dct.code_length(static_cast<std::uint8_t>(s));
+        int s;
         int diff = 0;
-        if (s > 0) {
-          std::int32_t raw = rd.get_bits(s);
-          if (raw < 0) fail(ExitCode::kUnsupportedJpeg, "truncated DC bits");
-          diff = extend_sign(raw, s);
-          out.stats.bits_dc += s;
+        if (rd.ensure(kDcFusedBits)) {
+          // Fast path: the window covers the longest possible code plus its
+          // value bits, so the whole pair resolves with one refill check.
+          std::uint32_t hit = dct.decode16(rd.peek(16));
+          if (hit == 0) fail(ExitCode::kUnsupportedJpeg, "bad DC code");
+          int len = static_cast<int>(hit >> 8);
+          s = static_cast<int>(hit & 0xFF);
+          if (s > 11) fail(ExitCode::kAcOutOfRange, "DC size > 11");
+          rd.consume(len);
+          out.stats.bits_dc += static_cast<std::uint32_t>(len);
+          if (s > 0) {
+            diff = extend_sign(static_cast<std::int32_t>(rd.peek(s)), s);
+            rd.consume(s);
+            out.stats.bits_dc += static_cast<std::uint32_t>(s);
+          }
+        } else {
+          s = decode_symbol(rd, dct);
+          if (s < 0) fail(ExitCode::kUnsupportedJpeg, "bad DC code");
+          if (s > 11) fail(ExitCode::kAcOutOfRange, "DC size > 11");
+          out.stats.bits_dc += dct.code_length(static_cast<std::uint8_t>(s));
+          if (s > 0) {
+            std::int32_t raw = rd.get_bits(s);
+            if (raw < 0) fail(ExitCode::kUnsupportedJpeg, "truncated DC bits");
+            diff = extend_sign(raw, s);
+            out.stats.bits_dc += static_cast<std::uint32_t>(s);
+          }
         }
-        int dc = dc_pred[mp.comp] + diff;
+        int dc = dc_pred[sl.comp] + diff;
         if (dc < -2048 || dc > 2047) {
           fail(ExitCode::kAcOutOfRange, "DC out of range");
         }
-        dc_pred[mp.comp] = static_cast<std::int16_t>(dc);
+        dc_pred[sl.comp] = static_cast<std::int16_t>(dc);
         blk[0] = static_cast<std::int16_t>(dc);
 
         // ---- AC ----
+        // Edge/interior bit attribution accumulates branchlessly into an
+        // indexed pair and flushes once per block: the zigzag walk
+        // alternates between the classes too irregularly for the branch
+        // predictor.
+        std::uint64_t ac_bits[2] = {0, 0};  // [0]=interior 7x7, [1]=edge
         int k = 1;
         while (k < 64) {
-          int rs = decode_symbol(rd, act);
-          if (rs < 0) fail(ExitCode::kUnsupportedJpeg, "bad AC code");
-          int run = rs >> 4;
-          int size = rs & 15;
-          int sym_bits = act.code_length(static_cast<std::uint8_t>(rs));
-          if (size == 0) {
-            out.stats.bits_overhead += sym_bits;
-            if (run == 15) {
-              k += 16;  // ZRL
-              continue;
+          int run, size, sym_bits;
+          std::int32_t raw;
+          if (rd.ensure(kAcFusedBits)) {
+            // Fast path: one window check amortizes the whole
+            // symbol+magnitude chain — EOB/ZRL symbols consume and loop
+            // without ever re-entering refill logic while the window lasts.
+            std::uint32_t hit = act.decode16(rd.peek(16));
+            if (hit == 0) fail(ExitCode::kUnsupportedJpeg, "bad AC code");
+            sym_bits = static_cast<int>(hit >> 8);
+            int rs = static_cast<int>(hit & 0xFF);
+            run = rs >> 4;
+            size = rs & 15;
+            if (size == 0) {
+              rd.consume(sym_bits);
+              out.stats.bits_overhead += static_cast<std::uint32_t>(sym_bits);
+              if (run == 15) {
+                k += 16;  // ZRL
+                continue;
+              }
+              break;  // EOB
             }
-            break;  // EOB
+            if (size > 10) fail(ExitCode::kAcOutOfRange, "AC size > 10");
+            rd.consume(sym_bits);
+            raw = static_cast<std::int32_t>(rd.peek(size));
+            rd.consume(size);
+          } else {
+            int rs = decode_symbol(rd, act);
+            if (rs < 0) fail(ExitCode::kUnsupportedJpeg, "bad AC code");
+            run = rs >> 4;
+            size = rs & 15;
+            sym_bits = act.code_length(static_cast<std::uint8_t>(rs));
+            if (size == 0) {
+              out.stats.bits_overhead += static_cast<std::uint32_t>(sym_bits);
+              if (run == 15) {
+                k += 16;  // ZRL
+                continue;
+              }
+              break;  // EOB
+            }
+            if (size > 10) fail(ExitCode::kAcOutOfRange, "AC size > 10");
+            raw = rd.get_bits(size);
+            if (raw < 0) fail(ExitCode::kUnsupportedJpeg, "truncated AC bits");
           }
-          if (size > 10) fail(ExitCode::kAcOutOfRange, "AC size > 10");
           k += run;
           if (k > 63) fail(ExitCode::kUnsupportedJpeg, "AC run overflow");
-          std::int32_t raw = rd.get_bits(size);
-          if (raw < 0) fail(ExitCode::kUnsupportedJpeg, "truncated AC bits");
           int natural = kZigzag[k];
           blk[natural] = static_cast<std::int16_t>(extend_sign(raw, size));
-          int row = natural >> 3, col = natural & 7;
-          if (row == 0 || col == 0) {
-            out.stats.bits_edge += sym_bits + size;
-          } else {
-            out.stats.bits_ac77 += sym_bits + size;
-          }
+          // Bit nat set ⇔ natural index nat is in row 0 or column 0.
+          constexpr std::uint64_t kEdgeBits = 0x01010101010101FFull;
+          ac_bits[(kEdgeBits >> natural) & 1] +=
+              static_cast<std::uint32_t>(sym_bits + size);
           ++k;
         }
+        out.stats.bits_ac77 += ac_bits[0];
+        out.stats.bits_edge += ac_bits[1];
       }
       ++mcus_done;
     }

@@ -123,6 +123,224 @@ __attribute__((target("avx2"))) void prepare_block_avx2(
 
 #endif  // LEPTON_SCAN_SIMD_X86
 
+// ---- context-plane kernels --------------------------------------------------
+
+void abs_nz_scalar(const std::int16_t* blk, std::uint16_t* abs_out,
+                   std::uint64_t* nz_natural) {
+  std::uint64_t nz = 0;
+  for (int i = 0; i < 64; ++i) {
+    int c = blk[i];
+    // Two's-complement wrap for INT16_MIN (32768), matching the vector
+    // (x ^ sign) - sign computation bit-for-bit.
+    abs_out[i] = static_cast<std::uint16_t>(c < 0 ? -c : c);
+    nz |= static_cast<std::uint64_t>(c != 0) << i;
+  }
+  *nz_natural = nz;
+}
+
+void mag_buckets_scalar(const std::uint16_t* above, const std::uint16_t* left,
+                        const std::uint16_t* above_left, std::uint8_t* out) {
+  mag_buckets_row_scalar(above, left, above_left, out, 64);
+}
+
+void mag_buckets_row_scalar(const std::uint16_t* above,
+                            const std::uint16_t* left,
+                            const std::uint16_t* above_left, std::uint8_t* out,
+                            std::size_t nlanes) {
+  for (std::size_t i = 0; i < nlanes; ++i) {
+    // uint16 arithmetic throughout: AC sums stay < 2^15; the DC lane may
+    // wrap mod 2^16 exactly as the 16-lane vector multiply does (it is
+    // never consumed — model DC context comes from pixel gradients).
+    auto w = static_cast<std::uint16_t>(
+        13u * above[i] + 13u * left[i] + 6u * above_left[i]);
+    auto x = static_cast<std::uint32_t>(w >> 5);
+    int b = std::bit_width(x);
+    out[i] = static_cast<std::uint8_t>(b > 11 ? 11 : b);
+  }
+}
+
+void abs_nz_row_scalar(const std::int16_t* blocks, int nblocks,
+                       std::uint16_t* abs_out, std::uint64_t* nz_out) {
+  for (int b = 0; b < nblocks; ++b) {
+    abs_nz_scalar(blocks + b * 64, abs_out + b * 64, nz_out + b);
+  }
+}
+
+#if LEPTON_SCAN_SIMD_X86
+
+namespace {
+
+void abs_nz_sse2(const std::int16_t* blk, std::uint16_t* abs_out,
+                 std::uint64_t* nz_natural) {
+  std::uint64_t nz = 0;
+  __m128i zero = _mm_setzero_si128();
+  for (int g = 0; g < 64; g += 8) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(blk + g));
+    __m128i sign = _mm_srai_epi16(x, 15);
+    __m128i abs16 = _mm_sub_epi16(_mm_xor_si128(x, sign), sign);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(abs_out + g), abs16);
+    __m128i is_zero = _mm_cmpeq_epi16(x, zero);
+    unsigned zbyte = static_cast<unsigned>(
+        _mm_movemask_epi8(_mm_packs_epi16(is_zero, zero)));
+    nz |= static_cast<std::uint64_t>(~zbyte & 0xFFu) << g;
+  }
+  *nz_natural = nz;
+}
+
+// Bit lengths of 8 uint16 lanes (values < 2^12 here) via the float
+// exponent, clamped below at zero — shared shape with sizes_sse2 above.
+inline __m128i bitlen8_sse2(__m128i v16) {
+  __m128i zero = _mm_setzero_si128();
+  __m128i lo = _mm_unpacklo_epi16(v16, zero);
+  __m128i hi = _mm_unpackhi_epi16(v16, zero);
+  __m128i elo = _mm_srli_epi32(_mm_castps_si128(_mm_cvtepi32_ps(lo)), 23);
+  __m128i ehi = _mm_srli_epi32(_mm_castps_si128(_mm_cvtepi32_ps(hi)), 23);
+  __m128i bias = _mm_set1_epi32(126);
+  __m128i b16 = _mm_packs_epi32(_mm_sub_epi32(elo, bias),
+                                _mm_sub_epi32(ehi, bias));
+  return _mm_max_epi16(b16, zero);
+}
+
+void mag_buckets_row_sse2(const std::uint16_t* above, const std::uint16_t* left,
+                          const std::uint16_t* above_left, std::uint8_t* out,
+                          std::size_t nlanes) {
+  __m128i zero = _mm_setzero_si128();
+  __m128i w13 = _mm_set1_epi16(13);
+  __m128i w6 = _mm_set1_epi16(6);
+  for (std::size_t g = 0; g < nlanes; g += 8) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(above + g));
+    __m128i l = _mm_loadu_si128(reinterpret_cast<const __m128i*>(left + g));
+    __m128i al =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(above_left + g));
+    // mullo/add wrap mod 2^16 — identical to the scalar uint16 arithmetic.
+    __m128i w = _mm_add_epi16(
+        _mm_add_epi16(_mm_mullo_epi16(a, w13), _mm_mullo_epi16(l, w13)),
+        _mm_mullo_epi16(al, w6));
+    __m128i x = _mm_srli_epi16(w, 5);  // <= 2047: bit length <= 11, no clamp
+    __m128i b16 = bitlen8_sse2(x);
+    __m128i b8 = _mm_packus_epi16(b16, zero);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + g), b8);
+  }
+}
+
+void mag_buckets_sse2(const std::uint16_t* above, const std::uint16_t* left,
+                      const std::uint16_t* above_left, std::uint8_t* out) {
+  mag_buckets_row_sse2(above, left, above_left, out, 64);
+}
+
+void abs_nz_row_sse2(const std::int16_t* blocks, int nblocks,
+                     std::uint16_t* abs_out, std::uint64_t* nz_out) {
+  for (int b = 0; b < nblocks; ++b) {
+    abs_nz_sse2(blocks + b * 64, abs_out + b * 64, nz_out + b);
+  }
+}
+
+__attribute__((target("avx2"))) void abs_nz_avx2(const std::int16_t* blk,
+                                                 std::uint16_t* abs_out,
+                                                 std::uint64_t* nz_natural) {
+  std::uint64_t nz = 0;
+  __m256i zero = _mm256_setzero_si256();
+  for (int g = 0; g < 64; g += 16) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blk + g));
+    __m256i sign = _mm256_srai_epi16(x, 15);
+    __m256i abs16 = _mm256_sub_epi16(_mm256_xor_si256(x, sign), sign);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(abs_out + g), abs16);
+    __m256i is_zero = _mm256_cmpeq_epi16(x, zero);
+    __m256i packed = _mm256_packs_epi16(is_zero, zero);
+    auto zmask = static_cast<unsigned>(_mm256_movemask_epi8(packed));
+    unsigned z16 = (zmask & 0xFFu) | ((zmask >> 8) & 0xFF00u);
+    nz |= static_cast<std::uint64_t>(~z16 & 0xFFFFu) << g;
+  }
+  *nz_natural = nz;
+}
+
+__attribute__((target("avx2"))) void mag_buckets_row_avx2(
+    const std::uint16_t* above, const std::uint16_t* left,
+    const std::uint16_t* above_left, std::uint8_t* out, std::size_t nlanes) {
+  __m256i zero = _mm256_setzero_si256();
+  __m256i w13 = _mm256_set1_epi16(13);
+  __m256i w6 = _mm256_set1_epi16(6);
+  __m256i bias = _mm256_set1_epi32(126);
+  for (std::size_t g = 0; g < nlanes; g += 16) {
+    __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(above + g));
+    __m256i l = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(left + g));
+    __m256i al =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(above_left + g));
+    __m256i w = _mm256_add_epi16(
+        _mm256_add_epi16(_mm256_mullo_epi16(a, w13), _mm256_mullo_epi16(l, w13)),
+        _mm256_mullo_epi16(al, w6));
+    __m256i x = _mm256_srli_epi16(w, 5);
+    // Bit lengths via the float exponent, 16 lanes; same pack/permute
+    // order-fixing dance as prepare_block_avx2.
+    __m256i lo32 = _mm256_cvtepu16_epi32(_mm256_castsi256_si128(x));
+    __m256i hi32 = _mm256_cvtepu16_epi32(_mm256_extracti128_si256(x, 1));
+    __m256i elo = _mm256_srli_epi32(
+        _mm256_castps_si256(_mm256_cvtepi32_ps(lo32)), 23);
+    __m256i ehi = _mm256_srli_epi32(
+        _mm256_castps_si256(_mm256_cvtepi32_ps(hi32)), 23);
+    __m256i b16 = _mm256_packs_epi32(_mm256_sub_epi32(elo, bias),
+                                     _mm256_sub_epi32(ehi, bias));
+    b16 = _mm256_permute4x64_epi64(b16, 0xD8);
+    b16 = _mm256_max_epi16(b16, zero);
+    __m256i b8 = _mm256_packus_epi16(b16, zero);
+    b8 = _mm256_permute4x64_epi64(b8, 0xD8);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + g),
+                     _mm256_castsi256_si128(b8));
+  }
+}
+
+__attribute__((target("avx2"))) void mag_buckets_avx2(
+    const std::uint16_t* above, const std::uint16_t* left,
+    const std::uint16_t* above_left, std::uint8_t* out) {
+  mag_buckets_row_avx2(above, left, above_left, out, 64);
+}
+
+__attribute__((target("avx2"))) void abs_nz_row_avx2(const std::int16_t* blocks,
+                                                     int nblocks,
+                                                     std::uint16_t* abs_out,
+                                                     std::uint64_t* nz_out) {
+  std::uint64_t nz = 0;
+  __m256i zero = _mm256_setzero_si256();
+  for (int b = 0; b < nblocks; ++b) {
+    const std::int16_t* blk = blocks + b * 64;
+    std::uint16_t* ab = abs_out + b * 64;
+    nz = 0;
+    for (int g = 0; g < 64; g += 16) {
+      __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(blk + g));
+      __m256i sign = _mm256_srai_epi16(x, 15);
+      __m256i abs16 = _mm256_sub_epi16(_mm256_xor_si256(x, sign), sign);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(ab + g), abs16);
+      __m256i is_zero = _mm256_cmpeq_epi16(x, zero);
+      __m256i packed = _mm256_packs_epi16(is_zero, zero);
+      auto zmask = static_cast<unsigned>(_mm256_movemask_epi8(packed));
+      unsigned z16 = (zmask & 0xFFu) | ((zmask >> 8) & 0xFF00u);
+      nz |= static_cast<std::uint64_t>(~z16 & 0xFFFFu) << g;
+    }
+    nz_out[b] = nz;
+  }
+}
+
+}  // namespace
+
+#endif  // LEPTON_SCAN_SIMD_X86
+
+ContextKernels context_kernels() {
+#if LEPTON_SCAN_SIMD_X86
+  switch (util::active_simd()) {
+    case util::SimdLevel::kAvx2:
+      return {abs_nz_avx2, mag_buckets_avx2, abs_nz_row_avx2,
+              mag_buckets_row_avx2};
+    case util::SimdLevel::kSse2:
+      return {abs_nz_sse2, mag_buckets_sse2, abs_nz_row_sse2,
+              mag_buckets_row_sse2};
+    case util::SimdLevel::kScalar: break;
+  }
+#endif
+  return {abs_nz_scalar, mag_buckets_scalar, abs_nz_row_scalar,
+          mag_buckets_row_scalar};
+}
+
 PrepareFn prepare_block_fn() {
 #if LEPTON_SCAN_SIMD_X86
   switch (util::active_simd()) {

@@ -41,4 +41,71 @@ void prepare_block_scalar(const std::int16_t* blk, PreparedBlock& p);
 // row) — it is an atomic load and a switch.
 PrepareFn prepare_block_fn();
 
+// ---- Encode-side context-plane kernels --------------------------------------
+//
+// The encode pipeline precomputes per-block model context (nonzero counts,
+// neighbour-magnitude buckets) for whole MCU rows before the serial
+// adaptive-coder loop runs. These kernels are its vector core; all levels
+// are byte-identical (the tests sweep scalar vs dispatched output).
+
+// Natural-order |coefficient| per position plus a nonzero bitmask: bit
+// `nat` (0..63) set iff blk[nat] != 0. abs_out uses two's-complement
+// wrap-around for INT16_MIN (32768), matching the SIMD abs trick exactly.
+using AbsNzFn = void (*)(const std::int16_t* blk, std::uint16_t* abs_out,
+                         std::uint64_t* nz_natural);
+
+// Weighted neighbour-magnitude buckets for all 64 natural positions:
+// out[nat] = magnitude_bucket((13*a + 13*l + 6*al) / 32), computed in
+// uint16 arithmetic (AC magnitudes keep the sum < 2^15; the DC lane may
+// wrap, identically at every level, and is never consumed). Absent
+// neighbours are passed as a shared all-zero array.
+using MagBucketsFn = void (*)(const std::uint16_t* above,
+                              const std::uint16_t* left,
+                              const std::uint16_t* above_left,
+                              std::uint8_t* out);
+
+// Row-plane forms of the same kernels: `nblocks` consecutive blocks of a
+// CoeffImage row (the storage is row-major, so a block row is one
+// contiguous int16 stream) in one call — no per-block dispatch, pure
+// streaming SIMD. `abs_nz_row` fills nblocks*64 magnitudes plus one
+// nonzero mask per block; `mag_buckets_row` maps `nlanes` parallel
+// (above, left, above-left) magnitude streams to buckets. The per-block
+// forms above remain for the fix-up lanes (absent neighbours, the
+// above-left ring quirk) and for tests.
+using AbsNzRowFn = void (*)(const std::int16_t* blocks, int nblocks,
+                            std::uint16_t* abs_out, std::uint64_t* nz_out);
+using MagBucketsRowFn = void (*)(const std::uint16_t* above,
+                                 const std::uint16_t* left,
+                                 const std::uint16_t* above_left,
+                                 std::uint8_t* out, std::size_t nlanes);
+
+struct ContextKernels {
+  AbsNzFn abs_nz;
+  MagBucketsFn mag_buckets;
+  AbsNzRowFn abs_nz_row;
+  MagBucketsRowFn mag_buckets_row;
+};
+
+// Always-available reference implementations.
+void abs_nz_scalar(const std::int16_t* blk, std::uint16_t* abs_out,
+                   std::uint64_t* nz_natural);
+void mag_buckets_scalar(const std::uint16_t* above, const std::uint16_t* left,
+                        const std::uint16_t* above_left, std::uint8_t* out);
+void abs_nz_row_scalar(const std::int16_t* blocks, int nblocks,
+                       std::uint16_t* abs_out, std::uint64_t* nz_out);
+void mag_buckets_row_scalar(const std::uint16_t* above,
+                            const std::uint16_t* left,
+                            const std::uint16_t* above_left, std::uint8_t* out,
+                            std::size_t nlanes);
+
+// Kernels for util::active_simd(); consult once per segment/row batch.
+ContextKernels context_kernels();
+
+// Natural-order masks over the nonzero bitmask: the 7x7 interior
+// (rows 1-7 x cols 1-7), the 7x1 column edge (F[u][0], u>=1) and the 1x7
+// row edge (F[0][v], v>=1).
+inline constexpr std::uint64_t kInteriorMask = 0xFEFEFEFEFEFEFE00ull;
+inline constexpr std::uint64_t kColEdgeMask = 0x0101010101010100ull;
+inline constexpr std::uint64_t kRowEdgeMask = 0x00000000000000FEull;
+
 }  // namespace lepton::jpegfmt::simd

@@ -95,6 +95,7 @@ std::vector<std::uint8_t> encode_container(const jpegfmt::JpegFile& jf,
                                                    scratch.fresh_model(), jf,
                                                    opts.model,
                                                    &scratch.rings());
+      if (opts.use_context_plane) codec.attach_plane(&scratch.plane());
       if (tally != nullptr && nseg == 1) {
         codec.set_tally(tally);
       }

@@ -52,6 +52,10 @@ struct EncodeOptions {
   // call. Sessions wire their own control in here; a trip classifies the
   // run as kTimeout.
   RunControl* run = nullptr;
+  // Staged encode pipeline (context-plane precompute + plane-fed coder
+  // loop). Byte-streams are identical either way; false runs the per-block
+  // reference path (fuzz baseline, perf attribution).
+  bool use_context_plane = true;
   model::ModelOptions model;
 };
 

@@ -53,6 +53,10 @@ class CodecScratch {
   // Context-row rings for SegmentCodec.
   model::SegmentRings& rings() { return rings_; }
 
+  // Encode-side context-plane scratch (rolling magnitude/pixel rows plus
+  // the per-MCU-row bucket plane), re-shaped per segment, grown once.
+  model::ContextPlane& plane() { return plane_; }
+
  private:
   // Allocated through the tracker: the per-worker model copy is what the
   // Figure 3 memory accounting counts (§4.2).
@@ -61,6 +65,7 @@ class CodecScratch {
   std::vector<std::uint8_t> arith_buf_;
   std::vector<std::uint8_t> row_buf_;
   model::SegmentRings rings_;
+  model::ContextPlane plane_;
 };
 
 class CodecContext {

@@ -18,6 +18,7 @@
 #include "jpeg/dct.h"
 #include "jpeg/jpeg_types.h"
 #include "jpeg/parser.h"
+#include "model/context_plane.h"
 #include "model/model.h"
 #include "model/predictors.h"
 #include "util/tracked_memory.h"
@@ -77,21 +78,6 @@ struct SegmentRings {
   std::vector<std::array<util::tracked_vector<BlockState>, 2>> comps;
 };
 
-// Per-component Lakhani basis with the quantization step folded in
-// ([row] tables index [u][v], [col] tables [v][u]).
-//
-// (An AVX2 vpmuldq version of the edge dot products was tried and measured
-// a net loss here — the per-call int16→int64 widening and horizontal
-// reduction cost more than the ~15 scalar multiplies they replace, which
-// GCC already schedules well. The folded tables keep the scalar loop at
-// one multiply per term; see DESIGN.md "what didn't pay".)
-struct EdgeTables {
-  std::int64_t bq7_row[8][8];
-  std::int64_t bq0_row[8][8];
-  std::int64_t bq7_col[8][8];
-  std::int64_t bq0_col[8][8];
-};
-
 template <typename Ops>
 class SegmentCodec {
  public:
@@ -119,24 +105,33 @@ class SegmentCodec {
     // instead of two, on a path that runs for every edge coefficient.
     if (opts_.lakhani_edges) {
       for (std::size_t c = 0; c < fr.comps.size(); ++c) {
-        const std::uint16_t* q = jf.qtables[fr.comps[c].quant_idx].q.data();
-        EdgeTables& t = edge_tables_[c];
-        for (int u = 0; u < 8; ++u) {
-          for (int v = 0; v < 8; ++v) {
-            t.bq7_row[u][v] = jpegfmt::dct_basis_q20(7, v) * q[u * 8 + v];
-            t.bq0_row[u][v] = jpegfmt::dct_basis_q20(0, v) * q[u * 8 + v];
-            t.bq7_col[v][u] = jpegfmt::dct_basis_q20(7, u) * q[u * 8 + v];
-            t.bq0_col[v][u] = jpegfmt::dct_basis_q20(0, u) * q[u * 8 + v];
-          }
-        }
+        build_edge_tables(edge_tables_[c],
+                          jf.qtables[fr.comps[c].quant_idx].q.data());
       }
     }
+  }
+
+  // Attaches encode-side context-plane scratch: subsequent code_mcu_row
+  // calls on the encode instantiation run the staged pipeline (per-row
+  // precompute, then a coder loop that only feeds the BoolEncoder) instead
+  // of deriving context per block. Byte-streams are identical either way;
+  // decode instantiations ignore it. Null detaches (reference path).
+  void attach_plane(ContextPlane* plane) {
+    plane_ = plane;
+    if (plane_ != nullptr) plane_->reshape(jf_.frame);
   }
 
   // Codes one MCU row. On encode, `source` supplies ground-truth blocks; on
   // decode pass nullptr. Decoded coefficients land in the ring and can be
   // read back with row_block() until the next call for that parity.
   void code_mcu_row(int my, const jpegfmt::CoeffImage* source) {
+    if constexpr (Ops::kEncoding) {
+      if (plane_ != nullptr && source != nullptr) {
+        code_mcu_row_plane(my, *source);
+        plane_row_coded_ = true;
+        return;
+      }
+    }
     const auto& fr = jf_.frame;
     for (int mx = 0; mx < fr.mcus_x; ++mx) {
       for (int ci = 0; ci < fr.ncomp(); ++ci) {
@@ -163,6 +158,7 @@ class SegmentCodec {
         for (auto& bs : row) bs.valid = false;
       }
     }
+    plane_row_coded_ = false;
   }
 
   // Read back a decoded block from the ring (valid for the two most recent
@@ -320,54 +316,6 @@ class SegmentCodec {
     finalize_block_pixels(bs, px_ac, q);
   }
 
-  // Fast Lakhani path: same continuity solve as
-  // model::lakhani_edge_prediction, but with the quantization table folded
-  // into the basis rows (one multiply per term) and the final
-  // requantization division replaced by the shift walk that computes the
-  // signed_pred_bucket directly — the prediction is only ever consumed as
-  // a bucket. Differs from the reference at round-to-nearest boundaries
-  // only; encode and decode share it, so symmetry holds.
-  // Requantize a Lakhani numerator and bucket it: m = bit length of
-  // |pred| / q (truncating), clamped to 8 — the magnitude half of
-  // signed_pred_bucket without materializing the quotient.
-  static int bucket_from_num(std::int64_t num, std::uint32_t qq) {
-    std::int64_t pred_dq = num / jpegfmt::dct_basis_q20(0, 0);
-    std::uint64_t a = pred_dq < 0 ? static_cast<std::uint64_t>(-pred_dq)
-                                  : static_cast<std::uint64_t>(pred_dq);
-    if (qq == 0) qq = 1;
-    int m = 0;
-    while (m < 8 && a >= (static_cast<std::uint64_t>(qq) << m)) ++m;
-    return pred_dq < 0 ? 8 - m : 8 + m;
-  }
-
-  int lakhani_bucket(const EdgeTables& t, int orientation, int index,
-                     const std::int16_t* cur, const BlockState* neighbor,
-                     const std::uint16_t* q) const {
-    if (neighbor == nullptr) return 8;  // no context: predict 0
-    std::int64_t num = 0;
-    std::uint32_t qq;
-    if (orientation == 0) {
-      const int u = index;
-      for (int v = 0; v < 8; ++v) {
-        num += t.bq7_row[u][v] * neighbor->coef[u * 8 + v];
-      }
-      for (int v = 1; v < 8; ++v) {
-        num -= t.bq0_row[u][v] * cur[u * 8 + v];
-      }
-      qq = q[u * 8];
-    } else {
-      const int v = index;
-      for (int u = 0; u < 8; ++u) {
-        num += t.bq7_col[v][u] * neighbor->coef[u * 8 + v];
-      }
-      for (int u = 1; u < 8; ++u) {
-        num -= t.bq0_col[v][u] * cur[u * 8 + v];
-      }
-      qq = q[v];
-    }
-    return bucket_from_num(num, qq);
-  }
-
   template <typename WMag>
   void code_edge(KindModel& km, const Neighbors& nb, std::int16_t* blk,
                  const std::uint16_t* q, const WMag& wmag, int ci,
@@ -393,8 +341,9 @@ class SegmentCodec {
       int nat = orientation == 0 ? i * 8 : i;
       int pb;
       if (opts_.lakhani_edges) {
-        pb = lakhani_bucket(edge_tables_[static_cast<std::size_t>(ci)],
-                            orientation, i, blk, neighbor, q);
+        pb = lakhani_pred_bucket(
+            edge_tables_[static_cast<std::size_t>(ci)], orientation, i, blk,
+            neighbor != nullptr ? neighbor->coef.data() : nullptr, q);
       } else {
         std::int32_t predicted = avg_neighbor_value(nb, nat);
         if (predicted > 1023) predicted = 1023;
@@ -414,6 +363,102 @@ class SegmentCodec {
     }
   }
 
+  // ---- encode-side context-plane pipeline ----------------------------------
+  //
+  // Stage 2+3 of the staged encode (stage 1 is the fused-refill scan
+  // parse): precompute_block_row resolves every bucket a block's coding
+  // needs from ground truth (SIMD kernels for the bulk work), then
+  // code_block_plane feeds the BoolEncoder with zero context derivation on
+  // the serial chain. Bit-identical to code_block by construction — every
+  // plane field replicates the reference derivation on the same inputs
+  // (encode ring state equals truth), which the fuzz tests pin down.
+
+  void code_mcu_row_plane(int my, const jpegfmt::CoeffImage& source) {
+    const auto& fr = jf_.frame;
+    const jpegfmt::simd::ContextKernels kernels =
+        jpegfmt::simd::context_kernels();
+    precompute_mcu_row(*plane_, jf_, source, my, plane_row_coded_,
+                       edge_tables_.data(), opts_, kernels);
+    // Serial coder loop, exact MCU interleaving order (chroma components
+    // share adaptive state, so the order is part of the format).
+    for (int mx = 0; mx < fr.mcus_x; ++mx) {
+      for (int ci = 0; ci < fr.ncomp(); ++ci) {
+        const auto& comp = fr.comps[ci];
+        ComponentPlane& cp = plane_->comps[static_cast<std::size_t>(ci)];
+        const auto& cc = source.comps[static_cast<std::size_t>(ci)];
+        for (int sy = 0; sy < comp.v_samp; ++sy) {
+          for (int sx = 0; sx < comp.h_samp; ++sx) {
+            int bx = fr.ncomp() == 1 ? mx : mx * comp.h_samp + sx;
+            int by = fr.ncomp() == 1 ? my : my * comp.v_samp + sy;
+            std::size_t slot = static_cast<std::size_t>(sy) * cc.width_blocks +
+                               static_cast<std::size_t>(bx);
+            code_block_plane(ci, cp.ctx[slot], cp.mag.data() + slot * 64,
+                             cc.block(bx, by));
+          }
+        }
+      }
+    }
+  }
+
+  void code_block_plane(int ci, const BlockCtx& bc, const std::uint8_t* mag,
+                        const std::int16_t* truth) {
+    static_assert(Ops::kEncoding, "plane path is encode-only");
+    KindModel& km = pm_.for_component(ci);
+    const auto& order =
+        opts_.zigzag_77 ? interior77().zigzag_order : interior77().raster_order;
+
+    std::uint64_t mark = tally_ != nullptr ? ops_.enc->bytes_so_far() : 0;
+
+    // ---- (1) number of non-zero 7x7 coefficients (§A.2.1) ----
+    coding::code_tree(ops_, km.nz77.at(bc.nz_ctx).row(), 6, bc.nz77);
+
+    // ---- (2) 7x7 interior values, most-active first ----
+    int remaining = bc.nz77;
+    for (int i = 0; i < kNum77 && remaining > 0; ++i) {
+      int nat = order[i];
+      Coef77Bins& cb = km.c77.at(i).at(mag[nat]);
+      coding::code_value(ops_, cb.exp_row(nz_count_bucket(remaining)),
+                         &cb.sign, cb.res.data(), kAcMaxBits, truth[nat]);
+      remaining -= truth[nat] != 0;
+    }
+
+    if (tally_ != nullptr) {
+      std::uint64_t now = ops_.enc->bytes_so_far();
+      tally_->bytes_77 += now - mark;
+      mark = now;
+    }
+
+    // ---- (3) edges: 7x1 column, 1x7 row ----
+    for (int orientation = 0; orientation < 2; ++orientation) {
+      coding::code_tree(ops_, km.edge_nz.at(orientation).at(bc.edge_ctx).row(),
+                        3, bc.edge_count[orientation]);
+      int rem = bc.edge_count[orientation];
+      for (int i = 1; i < 8 && rem > 0; ++i) {
+        int nat = orientation == 0 ? i * 8 : i;
+        int mb = mag[nat];
+        if (mb > 3) mb = 3;
+        EdgeBins& eb =
+            km.edge.at(orientation).at(i - 1).at(bc.pb[orientation][i]);
+        coding::code_value(ops_, eb.exp_row(mb), &eb.sign, eb.res_row(mb),
+                           kAcMaxBits, truth[nat]);
+        rem -= truth[nat] != 0;
+      }
+    }
+
+    if (tally_ != nullptr) {
+      std::uint64_t now = ops_.enc->bytes_so_far();
+      tally_->bytes_edge += now - mark;
+      mark = now;
+    }
+
+    // ---- (4) DC, last (§A.2.3) ----
+    ValueBins<kDcDeltaBits>& db = km.dc.at(bc.dc_conf);
+    coding::code_value(ops_, db.exp.data(), &db.sign, db.res.data(),
+                       kDcDeltaBits, truth[0] - bc.dc_pred);
+
+    if (tally_ != nullptr) tally_->bytes_dc += ops_.enc->bytes_so_far() - mark;
+  }
+
   Ops ops_;
   ProbabilityModel& pm_;
   const jpegfmt::JpegFile& jf_;
@@ -424,6 +469,11 @@ class SegmentCodec {
   // caller-provided scratch when available, at own_rings_ otherwise.
   SegmentRings own_rings_;
   SegmentRings* rings_;
+  // Encode-side context plane (null = reference per-block path) and
+  // whether any MCU row was coded since construction/reset (the first
+  // row's blocks have no "above" context).
+  ContextPlane* plane_ = nullptr;
+  bool plane_row_coded_ = false;
 };
 
 }  // namespace lepton::model

@@ -26,11 +26,10 @@ std::uint32_t avg_neighbor_magnitude(const Neighbors& nb, int nat) {
 }
 
 std::int32_t avg_neighbor_value(const Neighbors& nb, int nat) {
-  std::int32_t sum = 0;
-  if (nb.above != nullptr) sum += 13 * nb.above->coef[nat];
-  if (nb.left != nullptr) sum += 13 * nb.left->coef[nat];
-  if (nb.above_left != nullptr) sum += 6 * nb.above_left->coef[nat];
-  return sum / 32;
+  return avg_neighbor_value_at(
+      nb.above != nullptr ? nb.above->coef.data() : nullptr,
+      nb.left != nullptr ? nb.left->coef.data() : nullptr,
+      nb.above_left != nullptr ? nb.above_left->coef.data() : nullptr, nat);
 }
 
 std::int32_t lakhani_edge_prediction(int orientation, int index,
@@ -82,26 +81,39 @@ void ac_only_pixels(const std::int16_t* coef, const std::uint16_t* q,
 DcPrediction predict_dc_gradient(const Neighbors& nb,
                                  const std::int32_t* px_ac,
                                  const std::uint16_t* q) {
+  const std::int32_t* above_bottom =
+      (nb.above != nullptr && nb.above->valid) ? nb.above->px_bottom.data()
+                                               : nullptr;
+  const std::int32_t* left_right =
+      (nb.left != nullptr && nb.left->valid) ? nb.left->px_right.data()
+                                             : nullptr;
+  return predict_dc_gradient_edges(above_bottom, left_right, px_ac, q);
+}
+
+DcPrediction predict_dc_gradient_edges(const std::int32_t* above_bottom,
+                                       const std::int32_t* left_right,
+                                       const std::int32_t* px_ac,
+                                       const std::uint16_t* q) {
   // Each border pair yields an estimate of the 8x-scaled DC pixel shift s
   // (== F00·q00 exactly, see dct.h): the gradient inside the neighbour and
   // the gradient inside the current block should meet seamlessly at the
   // seam (§A.2.3, Figure 17 right).
   std::int32_t est[16];
   int n = 0;
-  if (nb.above != nullptr && nb.above->valid) {
+  if (above_bottom != nullptr) {
     for (int x = 0; x < 8; ++x) {
-      std::int32_t a6 = nb.above->px_bottom[x];
-      std::int32_t a7 = nb.above->px_bottom[8 + x];
+      std::int32_t a6 = above_bottom[x];
+      std::int32_t a7 = above_bottom[8 + x];
       std::int32_t c0 = px_ac[x];        // row 0
       std::int32_t c1 = px_ac[8 + x];    // row 1
       std::int32_t p = a7 + ((a7 - a6) + (c1 - c0)) / 2;
       est[n++] = p - c0;
     }
   }
-  if (nb.left != nullptr && nb.left->valid) {
+  if (left_right != nullptr) {
     for (int y = 0; y < 8; ++y) {
-      std::int32_t l6 = nb.left->px_right[y * 2 + 0];
-      std::int32_t l7 = nb.left->px_right[y * 2 + 1];
+      std::int32_t l6 = left_right[y * 2 + 0];
+      std::int32_t l7 = left_right[y * 2 + 1];
       std::int32_t c0 = px_ac[y * 8 + 0];  // col 0
       std::int32_t c1 = px_ac[y * 8 + 1];  // col 1
       std::int32_t p = l7 + ((l7 - l6) + (c1 - c0)) / 2;
@@ -128,16 +140,25 @@ DcPrediction predict_dc_gradient(const Neighbors& nb,
 
 DcPrediction predict_dc_simple(const Neighbors& nb,
                                const std::uint16_t* /*q*/) {
+  const std::int16_t* above_dc =
+      (nb.above != nullptr && nb.above->valid) ? nb.above->coef.data() : nullptr;
+  const std::int16_t* left_dc =
+      (nb.left != nullptr && nb.left->valid) ? nb.left->coef.data() : nullptr;
+  return predict_dc_simple_vals(above_dc, left_dc);
+}
+
+DcPrediction predict_dc_simple_vals(const std::int16_t* above_dc,
+                                    const std::int16_t* left_dc) {
   DcPrediction out;
   int n = 0;
   std::int32_t sum = 0;
   std::int32_t vals[2] = {0, 0};
-  if (nb.above != nullptr && nb.above->valid) {
-    vals[n] = nb.above->coef[0];
+  if (above_dc != nullptr) {
+    vals[n] = *above_dc;
     sum += vals[n++];
   }
-  if (nb.left != nullptr && nb.left->valid) {
-    vals[n] = nb.left->coef[0];
+  if (left_dc != nullptr) {
+    vals[n] = *left_dc;
     sum += vals[n++];
   }
   if (n == 0) return out;

@@ -45,6 +45,21 @@ std::uint32_t avg_neighbor_magnitude(const Neighbors& nb, int nat);
 // edge predictor when the Lakhani path is ablated).
 std::int32_t avg_neighbor_value(const Neighbors& nb, int nat);
 
+// Raw-pointer core of avg_neighbor_value (null = absent neighbour,
+// contributes zero; truncating division). The BlockState overload and the
+// encode-side context plane both call this, so the two paths cannot
+// drift.
+inline std::int32_t avg_neighbor_value_at(const std::int16_t* above,
+                                          const std::int16_t* left,
+                                          const std::int16_t* above_left,
+                                          int nat) {
+  std::int32_t sum = 0;
+  if (above != nullptr) sum += 13 * above[nat];
+  if (left != nullptr) sum += 13 * left[nat];
+  if (above_left != nullptr) sum += 6 * above_left[nat];
+  return sum / 32;
+}
+
 // Lakhani edge prediction (§A.2.2). Predicts the quantized value of an edge
 // coefficient from the adjacent block's full coefficient row/column plus the
 // current block's already-coded 7x7 interior.
@@ -70,9 +85,23 @@ DcPrediction predict_dc_gradient(const Neighbors& nb,
                                  const std::int32_t* px_ac,
                                  const std::uint16_t* q);
 
+// Same predictor over raw pixel-edge pointers (null = absent neighbour):
+// `above_bottom` is the above block's px_bottom layout, `left_right` the
+// left block's px_right layout. The BlockState overload above delegates
+// here; the encode-side context plane calls it with its own rolling pixel
+// rows. One implementation, so the two paths cannot drift.
+DcPrediction predict_dc_gradient_edges(const std::int32_t* above_bottom,
+                                       const std::int32_t* left_right,
+                                       const std::int32_t* px_ac,
+                                       const std::uint16_t* q);
+
 // First-cut / ablation predictor: neighbour DC average ("baseline PackJPG"
 // behaviour per §4.3).
 DcPrediction predict_dc_simple(const Neighbors& nb, const std::uint16_t* q);
+
+// Raw-value form of the simple predictor (null = absent neighbour).
+DcPrediction predict_dc_simple_vals(const std::int16_t* above_dc,
+                                    const std::int16_t* left_dc);
 
 // Computes the 8x-scaled AC-only pixels of a block (DC forced to zero).
 void ac_only_pixels(const std::int16_t* coef, const std::uint16_t* q,
