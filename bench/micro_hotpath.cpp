@@ -464,65 +464,6 @@ IdctRates idct_lever() {
 
 }  // namespace
 
-// The trajectory file is an array of flat per-PR objects. Entries are
-// split on top-level braces (ours are flat — no nested objects); a legacy
-// single-object file is adopted as the PR 3 entry it was written by.
-std::vector<std::string> read_trajectory_entries(const std::string& path,
-                                                 int drop_pr) {
-  std::vector<std::string> entries;
-  FILE* in = std::fopen(path.c_str(), "r");
-  if (in == nullptr) return entries;
-  std::string text;
-  char buf[4096];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) text.append(buf, n);
-  std::fclose(in);
-  std::size_t i = 0;
-  while (i < text.size() && (text[i] == ' ' || text[i] == '\n')) ++i;
-  bool legacy_object = i < text.size() && text[i] == '{';
-  std::string cur;
-  int depth = 0;
-  bool in_string = false;
-  for (; i < text.size(); ++i) {
-    char c = text[i];
-    // Braces inside string values (e.g. a free-text "note") must not
-    // affect the entry split.
-    if (in_string) {
-      if (depth > 0) cur.push_back(c);
-      if (c == '\\' && i + 1 < text.size()) {
-        if (depth > 0) cur.push_back(text[i + 1]);
-        ++i;
-      } else if (c == '"') {
-        in_string = false;
-      }
-      continue;
-    }
-    if (c == '"') {
-      in_string = true;
-      if (depth > 0) cur.push_back(c);
-      continue;
-    }
-    if (c == '{') {
-      if (++depth == 1) cur.clear();
-    }
-    if (depth > 0) cur.push_back(c);
-    if (c == '}' && --depth == 0) {
-      if (legacy_object && cur.find("\"pr\"") == std::string::npos) {
-        // Adopt the pre-trajectory single object as the PR 3 entry.
-        cur.insert(1, "\n  \"pr\": 3,");
-      }
-      int entry_pr = -1;
-      std::size_t p = cur.find("\"pr\"");
-      if (p != std::string::npos) {
-        p = cur.find(':', p);
-        if (p != std::string::npos) entry_pr = std::atoi(cur.c_str() + p + 1);
-      }
-      if (entry_pr != drop_pr) entries.push_back(cur);
-    }
-  }
-  return entries;
-}
-
 // This PR's trajectory entry id — the single place to bump per perf PR
 // (run_bench.sh and CI inherit it; `--pr N` / PR=<n> override for
 // re-measuring an old build).
@@ -640,7 +581,8 @@ int main(int argc, char** argv) {
   std::printf("encode pipeline : plane %5.2f / reference %5.2f MB/s   (%.2fx)\n",
               enc_mbps, enc_ref_mbps, enc_mbps / enc_ref_mbps);
 
-  std::vector<std::string> entries = read_trajectory_entries(out_path, pr);
+  std::vector<std::string> entries =
+      bench::read_trajectory_entries(out_path, pr, "hotpath");
   FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -651,6 +593,7 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\n"
                "  \"pr\": %d,\n"
+               "  \"bench\": \"hotpath\",\n"
                "  \"bit_reader_batched_MBps\": %.2f,\n"
                "  \"bit_reader_per_bit_MBps\": %.2f,\n"
                "  \"bit_reader_speedup\": %.3f,\n"

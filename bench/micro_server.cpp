@@ -1,0 +1,178 @@
+// Serving-layer microbench: what the socket front-end costs over the
+// in-process sessions it drives. Measures ping RTT (pure protocol + kernel
+// hop), served encode/decode round-trip throughput against the in-process
+// one-shot path on the same warm CodecContext, and served decode TTFB (the
+// §3.4 streamed-output property must survive the wire). Appends a
+// "bench": "server" entry to the committed BENCH_hotpath.json trajectory
+// next to micro_hotpath's per-PR entries (docs/OPERATIONS.md explains how
+// to read the file).
+//
+// Flags: --full for the larger corpus band, --out <path> for the JSON,
+// --pr <n> for the trajectory entry id (default: this PR).
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "lepton/lepton.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+// Bump once per PR that changes serving-layer performance.
+constexpr int kCurrentPr = 5;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = bench::want_full(argc, argv);
+  std::string out_path = "BENCH_hotpath.json";
+  int pr = kCurrentPr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+    if (std::string(argv[i]) == "--pr") pr = std::atoi(argv[i + 1]);
+  }
+
+  bench::header("micro_server: socket front-end overhead over sessions",
+                "§5 runs Lepton as socket-fronted daemons; the serving hop "
+                "must cost protocol framing, not throughput");
+
+  lepton::CodecContext ctx(4);
+  lepton::server::ServerConfig cfg;
+  cfg.socket_path = "/tmp/lepton_micro_server_" +
+                    std::to_string(static_cast<long>(::getpid())) + ".sock";
+  lepton::server::LeptonServer srv(cfg, &ctx);
+  if (!srv.start()) {
+    std::fprintf(stderr, "cannot start server on %s\n",
+                 cfg.socket_path.c_str());
+    return 1;
+  }
+
+  // Baseline JPEGs only; anomalies would end requests in error trailers
+  // (and connection closes), which is a different benchmark.
+  std::vector<std::vector<std::uint8_t>> files;
+  std::size_t jpeg_bytes = 0;
+  for (const auto& f : bench::corpus(full)) {
+    if (f.kind != lepton::corpus::FileKind::kBaselineJpeg) continue;
+    files.push_back(f.bytes);
+    jpeg_bytes += f.bytes.size();
+  }
+  std::vector<std::vector<std::uint8_t>> leps;
+  for (const auto& f : files) {
+    auto e = ctx.encode({f.data(), f.size()});
+    if (!e.ok()) {
+      std::fprintf(stderr, "corpus encode failed: %s\n", e.message.c_str());
+      return 1;
+    }
+    leps.push_back(std::move(e.data));
+  }
+
+  // ---- ping RTT (protocol + unix-socket hop, no codec) ----
+  auto cli = lepton::server::LeptonClient::connect(srv.socket_path());
+  if (!cli.ok()) {
+    std::fprintf(stderr, "connect: %s\n", cli.message().c_str());
+    return 1;
+  }
+  const int kPings = 2000;
+  double ping_s = bench::best_of(3, [&] {
+    for (int i = 0; i < kPings; ++i) {
+      if (!cli.ping().ok()) std::abort();
+    }
+  });
+  double ping_rtt_us = ping_s / kPings * 1e6;
+
+  // ---- served vs in-process encode ----
+  double enc_local_s = bench::best_of(3, [&] {
+    for (const auto& f : files) {
+      if (!ctx.encode({f.data(), f.size()}).ok()) std::abort();
+    }
+  });
+  double enc_served_s = bench::best_of(3, [&] {
+    for (const auto& f : files) {
+      if (!cli.encode({f.data(), f.size()}).ok()) std::abort();
+    }
+  });
+
+  // ---- served vs in-process decode, plus served TTFB ----
+  double dec_local_s = bench::best_of(3, [&] {
+    for (const auto& l : leps) {
+      lepton::VectorSink sink;
+      if (ctx.decode({l.data(), l.size()}, sink) !=
+          lepton::util::ExitCode::kSuccess) {
+        std::abort();
+      }
+    }
+  });
+  lepton::util::Percentiles ttfb_ms;
+  double dec_served_s = bench::best_of(3, [&] {
+    for (const auto& l : leps) {
+      auto r = cli.decode({l.data(), l.size()});
+      if (!r.ok()) std::abort();
+      ttfb_ms.add(1e3 * r.ttfb_s);
+    }
+  });
+
+  double mb = jpeg_bytes / 1e6;
+  double enc_local = mb / enc_local_s, enc_served = mb / enc_served_s;
+  double dec_local = mb / dec_local_s, dec_served = mb / dec_served_s;
+
+  std::printf("%-34s %10s\n", "metric", "value");
+  std::printf("%-34s %8.1f us\n", "ping round trip", ping_rtt_us);
+  std::printf("%-34s %8.2f MB/s\n", "encode, in-process one-shot", enc_local);
+  std::printf("%-34s %8.2f MB/s (%.1f%% of in-process)\n",
+              "encode, served round trip", enc_served,
+              100.0 * enc_served / enc_local);
+  std::printf("%-34s %8.2f MB/s\n", "decode, in-process one-shot", dec_local);
+  std::printf("%-34s %8.2f MB/s (%.1f%% of in-process)\n",
+              "decode, served round trip", dec_served,
+              100.0 * dec_served / dec_local);
+  std::printf("%-34s %8.2f ms (p95 %.2f)\n", "served decode TTFB",
+              ttfb_ms.percentile(50), ttfb_ms.percentile(95));
+  std::printf("  (%zu corpus files, %.2f MB, warm context, best of 3)\n",
+              files.size(), mb);
+
+  auto stats = srv.stats();
+  std::vector<std::string> entries =
+      bench::read_trajectory_entries(out_path, pr, "server");
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (const auto& e : entries) std::fprintf(out, "%s,\n", e.c_str());
+  std::fprintf(out,
+               "{\n"
+               "  \"pr\": %d,\n"
+               "  \"bench\": \"server\",\n"
+               "  \"ping_rtt_us\": %.1f,\n"
+               "  \"encode_local_MBps\": %.2f,\n"
+               "  \"encode_served_MBps\": %.2f,\n"
+               "  \"encode_served_fraction\": %.3f,\n"
+               "  \"decode_local_MBps\": %.2f,\n"
+               "  \"decode_served_MBps\": %.2f,\n"
+               "  \"decode_served_fraction\": %.3f,\n"
+               "  \"decode_ttfb_ms_p50\": %.2f,\n"
+               "  \"decode_ttfb_ms_p95\": %.2f,\n"
+               "  \"server_requests\": %llu,\n"
+               "  \"server_bytes_out\": %llu,\n"
+               "  \"corpus_files\": %zu,\n"
+               "  \"corpus_MB\": %.2f\n"
+               "}\n"
+               "]\n",
+               pr, ping_rtt_us, enc_local, enc_served, enc_served / enc_local,
+               dec_local, dec_served, dec_served / dec_local,
+               ttfb_ms.percentile(50), ttfb_ms.percentile(95),
+               static_cast<unsigned long long>(stats.requests),
+               static_cast<unsigned long long>(stats.bytes_out),
+               files.size(), mb);
+  std::fclose(out);
+  std::printf("\nwrote %s (trajectory entry pr=%d bench=server, %zu prior "
+              "entries kept)\n",
+              out_path.c_str(), pr, entries.size());
+  srv.stop();
+  return 0;
+}

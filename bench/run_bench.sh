@@ -1,23 +1,27 @@
 #!/usr/bin/env bash
-# Runs the hot-path microbench and appends this PR's entry to the committed
-# repo-root BENCH_hotpath.json *trajectory* — an array with one entry per
-# perf PR (seeded with the PR 1/PR 3 numbers; a re-run replaces the entry
-# for the same PR id). Also runs the encode thread-scaling sweep (Figure 8)
-# so the encode-side pipeline's scaling behaviour is captured alongside the
-# single-thread levers.
+# Runs the hot-path and serving-layer microbenches and appends their entries
+# to the committed repo-root BENCH_hotpath.json *trajectory* — an array with
+# one entry per (PR, bench) pair: micro_hotpath writes "bench": "hotpath"
+# entries (seeded with the PR 1/PR 3 numbers), micro_server writes
+# "bench": "server" entries; a re-run replaces only its own entry. Also runs
+# the encode thread-scaling sweep (Figure 8) so the encode-side pipeline's
+# scaling behaviour is captured alongside the single-thread levers.
 #
 # Usage: bench/run_bench.sh [build-dir] [-- extra micro_hotpath args]
 # The build dir defaults to ./build and is configured+built if missing.
-# PR=<n> overrides the trajectory entry id (default: micro_hotpath's
-# kCurrentPr — bump that constant once per perf PR).
+# PR=<n> overrides the trajectory entry id (default: each bench's
+# kCurrentPr — bump micro_hotpath's once per perf PR, micro_server's once
+# per serving-layer PR).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-if [[ ! -x "$build_dir/micro_hotpath" || ! -x "$build_dir/fig08_encode_speed_threads" ]]; then
+if [[ ! -x "$build_dir/micro_hotpath" || ! -x "$build_dir/micro_server" ||
+      ! -x "$build_dir/fig08_encode_speed_threads" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-  cmake --build "$build_dir" --target micro_hotpath fig08_encode_speed_threads \
+  cmake --build "$build_dir" \
+    --target micro_hotpath micro_server fig08_encode_speed_threads \
     -j "$(nproc)"
 fi
 
@@ -26,6 +30,9 @@ pr_args=()
 if [[ -n "${PR:-}" ]]; then pr_args=(--pr "$PR"); fi
 "$build_dir/micro_hotpath" --out "$repo_root/BENCH_hotpath.json" \
   "${pr_args[@]}" "$@"
+
+echo
+"$build_dir/micro_server" --out "$repo_root/BENCH_hotpath.json" "${pr_args[@]}"
 
 echo
 "$build_dir/fig08_encode_speed_threads" | tee "$build_dir/fig08_encode_speed_threads.txt"

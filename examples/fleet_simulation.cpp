@@ -1,17 +1,41 @@
-// Deployment scenario (§5.5): evaluate outsourcing strategies for an
-// oversubscribed blockserver fleet before rolling them out — the experiment
-// behind Figures 9 and 10, runnable as one command.
-#include <cstdio>
+// Deployment scenario (§5.5, §6.6), in two acts.
+//
+// Act 1 — capacity planning: the event simulator compares the paper's
+// outsourcing strategies for an oversubscribed blockserver fleet (the
+// experiment behind Figures 9 and 10).
+//
+// Act 2 — the serving path itself: two real LeptonServer instances come up
+// on local sockets, real conversions route through them with per-request
+// deadlines, and a conversion that blows its time box is requeued on the
+// second server (§6.6: "timeouts ... the chunk is then requeued; a second
+// server will attempt the conversion with a longer window"). This is the
+// wiring the simulator only models: session deadlines -> kTimeout trailers
+// -> fleet requeue, with per-request TTFB/bytes/exit-code stats.
+#include <unistd.h>
 
+#include <cstdio>
+#include <string>
+
+#include "corpus/corpus.h"
+#include "lepton/context.h"
+#include "server/server.h"
 #include "storage/fleet.h"
+#include "util/exit_codes.h"
 
 using namespace lepton::storage;
 
-int main() {
+namespace {
+
+std::string code_name(unsigned c) {
+  return std::string(
+      lepton::util::exit_code_name(static_cast<lepton::util::ExitCode>(c)));
+}
+
+void act1_simulated_outsourcing() {
   WorkloadModel wl;
   wl.peak_encode_rate = 128.0;  // ≈8 conversions/s per blockserver at peak
 
-  std::printf("simulating 16 blockservers + 4 dedicated, 6h around peak\n\n");
+  std::printf("act 1: simulated 16 blockservers + 4 dedicated, 6h around peak\n\n");
   std::printf("%-14s %10s %12s %12s %12s %12s\n", "policy", "conv", "outsrc%",
               "p50 s", "p95 s", "p99 s");
   for (auto policy : {OutsourcePolicy::kControl, OutsourcePolicy::kToSelf,
@@ -36,5 +60,87 @@ int main() {
   std::printf("\npaper's verdict (§5.5.1): outsourcing halves the peak p99; "
               "the dedicated cluster wins at peak, to-self also lowers the "
               "median by removing hotspots\n");
+}
+
+int act2_real_requeue() {
+  std::printf("\nact 2: real conversions, timeout -> requeue -> second server "
+              "(§6.6)\n\n");
+
+  // Two compression servers sharing one warm CodecContext, like two
+  // daemons on one box would share nothing but the hardware.
+  lepton::CodecContext ctx(4);
+  std::string base = "/tmp/lepton_fleet_example_" +
+                     std::to_string(static_cast<long>(::getpid()));
+  lepton::server::ServerConfig c1, c2;
+  c1.socket_path = base + "_a.sock";
+  c2.socket_path = base + "_b.sock";
+  lepton::server::LeptonServer s1(c1, &ctx), s2(c2, &ctx);
+  if (!s1.start() || !s2.start()) {
+    std::fprintf(stderr, "cannot start servers\n");
+    return 1;
+  }
+
+  // A handful of real JPEGs, large enough that an aggressive first-attempt
+  // deadline trips mid-conversion.
+  std::vector<std::vector<std::uint8_t>> files;
+  for (int i = 0; i < 6; ++i) {
+    files.push_back(lepton::corpus::jpeg_of_size(160 << 10, 7000 + i));
+  }
+
+  RequeueConfig rq;
+  rq.endpoints = {s1.socket_path(), s2.socket_path()};
+  rq.op = FleetOp::kEncode;
+  rq.first_deadline = std::chrono::milliseconds(4);   // §6.6: tight window
+  rq.retry_deadline = std::chrono::milliseconds(0);   // requeue is patient
+  auto m = run_fleet_requeue(rq, files);
+
+  std::printf("%-8s %9s %8s %-14s %-14s %9s %9s\n", "request", "bytes",
+              "attempts", "first code", "final code", "ttfb ms", "total ms");
+  for (std::size_t i = 0; i < m.traces.size(); ++i) {
+    const auto& t = m.traces[i];
+    std::printf("%-8zu %9llu %8d %-14s %-14s %9.1f %9.1f\n", i,
+                static_cast<unsigned long long>(t.bytes_in), t.attempts,
+                code_name(static_cast<unsigned>(t.first_code)).c_str(),
+                code_name(static_cast<unsigned>(t.final_code)).c_str(),
+                1e3 * t.ttfb_s, 1e3 * t.total_s);
+  }
+  std::printf("\nrequests=%llu requeues=%llu succeeded=%llu\n",
+              static_cast<unsigned long long>(m.requests),
+              static_cast<unsigned long long>(m.requeues),
+              static_cast<unsigned long long>(m.succeeded));
+  std::printf("first-attempt codes: %s\n",
+              lepton::util::format_code_tally(m.first_attempt_codes,
+                                              code_name).c_str());
+  std::printf("final codes:         %s\n",
+              lepton::util::format_code_tally(m.final_codes,
+                                              code_name).c_str());
+  std::printf("latency (s):         %s\n",
+              lepton::util::format_percentiles(m.latency_s).c_str());
+
+  auto stats = s1.stats();
+  auto stats2 = s2.stats();
+  std::printf("server a: %llu requests, %llu bytes out; server b: %llu "
+              "requests, %llu bytes out\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.bytes_out),
+              static_cast<unsigned long long>(stats2.requests),
+              static_cast<unsigned long long>(stats2.bytes_out));
+
+  s1.stop();
+  s2.stop();
+  if (m.succeeded != m.requests) {
+    std::fprintf(stderr, "expected every request to convert after requeue\n");
+    return 1;
+  }
+  std::printf("\nevery request converted; the ones that timed out on their "
+              "first server finished on the second with no deadline — the "
+              "paper's requeue pipeline in one table\n");
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  act1_simulated_outsourcing();
+  return act2_real_requeue();
 }

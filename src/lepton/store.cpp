@@ -32,10 +32,18 @@ bool TransparentStore::shutoff_active() const {
   if (last != kNeverChecked && now - last < kShutoffTtlNs) {
     return shutoff_cached_.load(std::memory_order_acquire);
   }
+  return recheck_shutoff();
+}
+
+bool TransparentStore::recheck_shutoff() const {
+  if (shutoff_.load(std::memory_order_relaxed)) return true;
+  if (shutoff_file_.empty()) return false;
   struct stat st{};
   bool on = ::stat(shutoff_file_.c_str(), &st) == 0;
+  // Publish answer before timestamp (store.h ordering contract): a put()
+  // that sees the fresh timestamp sees the matching answer.
   shutoff_cached_.store(on, std::memory_order_release);
-  shutoff_checked_ns_.store(now, std::memory_order_release);
+  shutoff_checked_ns_.store(steady_now_ns(), std::memory_order_release);
   return on;
 }
 

@@ -77,12 +77,24 @@ class TransparentStore {
   //    Racing threads may redundantly stat() once each at refresh time and
   //    may observe the flip up to kShutoffTtl late — never a torn value.
   //  * set_shutoff_file() invalidates the cache (the next check stats).
+  //  * The staleness window is therefore exactly kShutoffTtlNs: an operator
+  //    who touches the shutoff file can observe shutoff_active() == false
+  //    for up to 250 ms afterwards. Layers that must answer an operator
+  //    *now* — the serving front-end's SHUTOFF frame (server/protocol.h) —
+  //    call recheck_shutoff() instead, which stats unconditionally.
   void set_shutoff(bool on) {
     shutoff_.store(on, std::memory_order_relaxed);
   }
   bool shutoff() const { return shutoff_.load(std::memory_order_relaxed); }
   void set_shutoff_file(std::string path);
   bool shutoff_active() const;
+
+  // Forced re-check: stats the shutoff file now (when one is configured),
+  // refreshes the TTL cache with the result, and returns the current state.
+  // This is the operator-facing path — put() keeps using the cached
+  // shutoff_active() so fleet-rate traffic never stats per chunk, but a
+  // SHUTOFF query frame must not answer up to 250 ms stale.
+  bool recheck_shutoff() const;
 
   static constexpr std::int64_t kShutoffTtlNs = 250'000'000;  // 250 ms
 

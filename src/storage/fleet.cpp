@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "server/client.h"
+
 namespace lepton::storage {
 namespace {
 
@@ -115,6 +117,82 @@ FleetMetrics simulate_fleet(const FleetConfig& cfg, const WorkloadModel& wl,
 
   sim.run_until(horizon);
   return out;
+}
+
+RequeueMetrics run_fleet_requeue(
+    const RequeueConfig& cfg,
+    const std::vector<std::vector<std::uint8_t>>& bodies) {
+  RequeueMetrics m;
+  if (cfg.endpoints.empty()) return m;
+  util::Rng rng(cfg.seed);
+  const auto n_servers = static_cast<std::uint64_t>(cfg.endpoints.size());
+
+  for (const auto& body : bodies) {
+    RequestTrace tr;
+    tr.bytes_in = body.size();
+    ++m.requests;
+
+    auto target = static_cast<std::size_t>(rng.below(n_servers));
+    for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
+      // Fresh connection per attempt: the server closes after every
+      // non-success trailer, and a requeue must not depend on the state of
+      // the connection the timed-out attempt died on.
+      auto cli = server::LeptonClient::connect(cfg.endpoints[target]);
+      server::RequestOptions opts;
+      opts.deadline = attempt == 0 ? cfg.first_deadline : cfg.retry_deadline;
+      server::RequestResult res;
+      if (!cli.ok()) {
+        res.transport_ok = false;
+        res.code = util::ExitCode::kShortRead;
+        res.message = cli.message();
+      } else {
+        res = cfg.op == FleetOp::kEncode
+                  ? cli.encode({body.data(), body.size()}, opts)
+                  : cli.decode({body.data(), body.size()}, opts);
+      }
+
+      ++tr.attempts;
+      tr.total_s += res.total_s;
+      tr.final_server = static_cast<int>(target);
+      tr.final_code = res.code;
+      if (attempt == 0) {
+        tr.first_server = static_cast<int>(target);
+        tr.first_code = res.code;
+        m.first_attempt_codes.add(static_cast<unsigned>(res.code));
+      }
+      if (!res.transport_ok) ++m.transport_failures;
+
+      // §6.6: server-local conditions — a blown time box, a dead
+      // transport, a draining or kill-switched server — earn another
+      // server; content classifications are properties of the file and
+      // never requeue (a progressive JPEG is progressive everywhere).
+      bool requeue_worthy =
+          !res.transport_ok || res.code == util::ExitCode::kTimeout ||
+          res.code == util::ExitCode::kServerShutdown;
+      if (res.ok()) {
+        tr.ttfb_s = res.ttfb_s;
+        tr.bytes_out = res.data.size();
+        tr.data = std::move(res.data);
+        ++m.succeeded;
+        break;
+      }
+      if (!requeue_worthy || attempt + 1 >= cfg.max_attempts) break;
+      ++m.requeues;
+      if (n_servers > 1) {
+        // The second server must be a different machine (§6.6).
+        auto next = static_cast<std::size_t>(rng.below(n_servers - 1));
+        target = next < target ? next : next + 1;
+      }
+    }
+
+    m.final_codes.add(static_cast<unsigned>(tr.final_code));
+    m.latency_s.add(tr.total_s);
+    if (tr.final_code == util::ExitCode::kSuccess) m.ttfb_s.add(tr.ttfb_s);
+    m.bytes_in += tr.bytes_in;
+    m.bytes_out += tr.bytes_out;
+    m.traces.push_back(std::move(tr));
+  }
+  return m;
 }
 
 }  // namespace lepton::storage

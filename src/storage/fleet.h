@@ -12,11 +12,14 @@
 // overhead.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "storage/event_sim.h"
 #include "storage/workload.h"
+#include "util/exit_codes.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -59,5 +62,70 @@ struct FleetMetrics {
 // behind Figures 9 and 10.
 FleetMetrics simulate_fleet(const FleetConfig& cfg, const WorkloadModel& wl,
                             double days);
+
+// ---- §6.6 timeout -> requeue over real servers ------------------------------
+//
+// The simulator above models latencies; this path drives *real* conversions
+// through a fleet of LeptonServer instances (server/server.h) and
+// reproduces the paper's §6.6 contract: a conversion that exceeds its
+// timeout window is abandoned (the server's session aborts as kTimeout at
+// its next MCU-row poll) and the request is requeued on a *different*
+// server, normally with a more generous budget. Requests route uniformly at
+// random, like the production load balancers (§5.5).
+
+enum class FleetOp { kEncode, kDecode };
+
+struct RequeueConfig {
+  // Unix-socket paths of the serving fleet (one per LeptonServer).
+  std::vector<std::string> endpoints;
+  FleetOp op = FleetOp::kEncode;
+  // Deadline for the first attempt; 0 = none.
+  std::chrono::milliseconds first_deadline{100};
+  // Deadline for requeued attempts; 0 = none (the paper's requeue pipeline
+  // is the patient path — the file must eventually convert or classify).
+  std::chrono::milliseconds retry_deadline{0};
+  // First try + requeues. 2 is the paper's timeout -> second-server shape.
+  int max_attempts = 2;
+  std::uint64_t seed = 66;  // §6.6
+};
+
+// Per-request record, in input order (tests verify byte-identity and the
+// first-timeout/second-success shape from these).
+struct RequestTrace {
+  int attempts = 0;
+  int first_server = -1;
+  int final_server = -1;
+  util::ExitCode first_code = util::ExitCode::kSuccess;
+  util::ExitCode final_code = util::ExitCode::kSuccess;
+  double ttfb_s = 0;    // of the final attempt
+  double total_s = 0;   // sum over attempts (what the user waited)
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::vector<std::uint8_t> data;  // final response body (empty on failure)
+};
+
+struct RequeueMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t requeues = 0;            // attempts beyond the first
+  std::uint64_t succeeded = 0;
+  std::uint64_t transport_failures = 0;  // connect/IO-level attempt failures
+  util::CodeTally first_attempt_codes;   // §6.2 tally of attempt #1
+  util::CodeTally final_codes;           // §6.2 tally after requeueing
+  util::Percentiles ttfb_s;
+  util::Percentiles latency_s;           // end-to-end, retries included
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::vector<RequestTrace> traces;
+};
+
+// Routes each body through the fleet with the §6.6 requeue rule: requeue
+// on server-local failures — kTimeout, kServerShutdown (draining or
+// kill-switched machine), or a transport failure — never on a content
+// classification (a progressive JPEG is progressive on every server).
+// Serial by design — the per-request stats stay attributable and the run
+// is reproducible.
+RequeueMetrics run_fleet_requeue(
+    const RequeueConfig& cfg,
+    const std::vector<std::vector<std::uint8_t>>& bodies);
 
 }  // namespace lepton::storage
