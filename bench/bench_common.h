@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "corpus/corpus.h"
@@ -72,6 +73,14 @@ inline double best_of(int rounds, const std::function<void()>& fn) {
 }
 
 inline double mbits(std::size_t bytes) { return bytes * 8.0 / 1e6; }
+
+// The box's vCPU count, recorded in every trajectory entry: the
+// single-thread numbers from a 1-vCPU runner and a many-core desktop are
+// not comparable, and the entry must say which it was.
+inline unsigned hardware_concurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
 
 inline void header(const char* title, const char* paper_note) {
   std::printf("==== %s ====\n", title);

@@ -159,6 +159,7 @@ int main(int argc, char** argv) {
                "  \"decode_ttfb_ms_p95\": %.2f,\n"
                "  \"server_requests\": %llu,\n"
                "  \"server_bytes_out\": %llu,\n"
+               "  \"hardware_concurrency\": %u,\n"
                "  \"corpus_files\": %zu,\n"
                "  \"corpus_MB\": %.2f\n"
                "}\n"
@@ -168,7 +169,7 @@ int main(int argc, char** argv) {
                ttfb_ms.percentile(50), ttfb_ms.percentile(95),
                static_cast<unsigned long long>(stats.requests),
                static_cast<unsigned long long>(stats.bytes_out),
-               files.size(), mb);
+               bench::hardware_concurrency(), files.size(), mb);
   std::fclose(out);
   std::printf("\nwrote %s (trajectory entry pr=%d bench=server, %zu prior "
               "entries kept)\n",

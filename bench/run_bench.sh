@@ -11,17 +11,21 @@
 # The build dir defaults to ./build and is configured+built if missing.
 # PR=<n> overrides the trajectory entry id (default: each bench's
 # kCurrentPr — bump micro_hotpath's once per perf PR, micro_server's once
-# per serving-layer PR).
+# per serving-layer PR). Both thread-scaling sweeps run — decode (Figure 7)
+# and encode (Figure 8) — so the per-thread codec numbers land next to the
+# single-thread levers in the same artifact.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 if [[ ! -x "$build_dir/micro_hotpath" || ! -x "$build_dir/micro_server" ||
+      ! -x "$build_dir/fig07_decode_speed_threads" ||
       ! -x "$build_dir/fig08_encode_speed_threads" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$build_dir" \
-    --target micro_hotpath micro_server fig08_encode_speed_threads \
+    --target micro_hotpath micro_server fig07_decode_speed_threads \
+    fig08_encode_speed_threads \
     -j "$(nproc)"
 fi
 
@@ -33,6 +37,10 @@ if [[ -n "${PR:-}" ]]; then pr_args=(--pr "$PR"); fi
 
 echo
 "$build_dir/micro_server" --out "$repo_root/BENCH_hotpath.json" "${pr_args[@]}"
+
+echo
+"$build_dir/fig07_decode_speed_threads" | tee "$build_dir/fig07_decode_speed_threads.txt"
+echo "wrote $build_dir/fig07_decode_speed_threads.txt"
 
 echo
 "$build_dir/fig08_encode_speed_threads" | tee "$build_dir/fig08_encode_speed_threads.txt"

@@ -1,0 +1,67 @@
+// Steps N independent segment codecs ("lanes") in lockstep, one MCU column
+// at a time, inside a single instruction stream.
+//
+// This is the interleaved-rANS trick applied to the adaptive bool coder:
+// each lane owns its own coder window, probability model, and context
+// rings, so the serial carry/renormalize/adapt chain of lane k has no data
+// dependency on lane j. Alternating lanes at MCU-column granularity gives
+// the out-of-order core N dependency chains to overlap where the v2 format
+// gives it one — which is why this pays off on a single vCPU (§3.4's
+// restructuring-for-parallelism taken down to the ILP level). Column
+// granularity (rather than whole rows) keeps every lane's working set —
+// its two context ring rows and its model's hot bins — resident while the
+// chains interleave.
+//
+// The lanes must already be configured (set_row_map with this group's base
+// row and the lane stride) and are driven through SegmentCodec's stepping
+// API: begin_row on all lanes, then every column across all lanes, then
+// end_row on all. Works for encode and decode instantiations alike.
+#pragma once
+
+#include <cstddef>
+
+#include "lepton/format.h"
+
+namespace lepton::coding {
+
+template <typename Codec, typename Source>
+class LaneSet {
+ public:
+  void clear() { n_ = 0; }
+  void add(Codec* lane) { lanes_[n_++] = lane; }
+  std::size_t size() const { return n_; }
+  Codec* lane(std::size_t k) const { return lanes_[k]; }
+
+  // Codes local row `local_row` of the first `active` lanes (the final
+  // round-robin group of a segment can be ragged when the row count is not
+  // a lane multiple). `source` is ground truth on encode, nullptr on
+  // decode; every lane maps `local_row` to its own source row.
+  void code_row_group(int local_row, std::size_t active, int mcus_x,
+                      const Source* source) const {
+    for (std::size_t k = 0; k < active; ++k) {
+      lanes_[k]->begin_row(local_row, source);
+    }
+    // The hot interleave. The two-lane shape is by far the most common
+    // (kDefaultCoderLanes); spelling it out keeps the pair of independent
+    // inlined coder bodies adjacent in one straight-line loop.
+    if (active == 2) {
+      Codec* l0 = lanes_[0];
+      Codec* l1 = lanes_[1];
+      for (int mx = 0; mx < mcus_x; ++mx) {
+        l0->code_row_mcu(mx);
+        l1->code_row_mcu(mx);
+      }
+    } else {
+      for (int mx = 0; mx < mcus_x; ++mx) {
+        for (std::size_t k = 0; k < active; ++k) lanes_[k]->code_row_mcu(mx);
+      }
+    }
+    for (std::size_t k = 0; k < active; ++k) lanes_[k]->end_row();
+  }
+
+ private:
+  Codec* lanes_[core::kMaxLanes] = {};
+  std::size_t n_ = 0;
+};
+
+}  // namespace lepton::coding

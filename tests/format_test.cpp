@@ -113,14 +113,106 @@ INSTANTIATE_TEST_SUITE_P(SegmentCounts, FormatRoundTrip,
 
 TEST(Format, RejectsWrongVersion) {
   // §6.7: an accidentally deployed incompatible version must fail loudly,
-  // not decode garbage.
+  // not decode garbage. The version matrix: v2 and v3 parse, anything else
+  // (the retired version 1 included) is rejected.
   lepton::util::Rng rng(5);
   auto h = sample_header(2, rng);
   auto arith = sample_arith(2, rng);
   auto bytes = lc::serialize_container(h, arith);
-  bytes[2] = 99;  // version byte
-  EXPECT_THROW(lc::parse_container({bytes.data(), bytes.size()}),
-               jf::ParseError);
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{4},
+                           std::uint8_t{99}}) {
+    auto mutated = bytes;
+    mutated[2] = bad;  // version byte
+    EXPECT_THROW(lc::parse_container({mutated.data(), mutated.size()}),
+                 jf::ParseError)
+        << "version " << int(bad);
+  }
+}
+
+namespace {
+
+// Splits each segment's payload length into a consistent v3 lane table.
+void assign_lane_tables(lc::ContainerHeader& h,
+                        const std::vector<std::vector<std::uint8_t>>& arith,
+                        lepton::util::Rng& rng) {
+  h.version = lc::kFormatVersionV3;
+  for (std::size_t i = 0; i < h.segments.size(); ++i) {
+    std::size_t lanes = 1 + rng.below(4);
+    auto total = static_cast<std::uint32_t>(arith[i].size());
+    auto& ll = h.segments[i].lane_lens;
+    ll.assign(lanes, 0);
+    for (std::size_t k = 0; k + 1 < lanes; ++k) {
+      ll[k] = static_cast<std::uint32_t>(rng.below(total / lanes + 1));
+      total -= ll[k];
+    }
+    ll[lanes - 1] = total;
+  }
+}
+
+}  // namespace
+
+TEST(Format, V3LaneTablesRoundTrip) {
+  lepton::util::Rng rng(77);
+  auto h = sample_header(4, rng);
+  auto arith = sample_arith(4, rng);
+  assign_lane_tables(h, arith, rng);
+  auto bytes = lc::serialize_container(h, arith);
+  EXPECT_EQ(bytes[2], lc::kFormatVersionV3);
+
+  auto parsed = lc::parse_container({bytes.data(), bytes.size()});
+  EXPECT_EQ(parsed.header.version, lc::kFormatVersionV3);
+  ASSERT_EQ(parsed.header.segments.size(), h.segments.size());
+  for (std::size_t i = 0; i < h.segments.size(); ++i) {
+    EXPECT_EQ(parsed.header.segments[i].lane_lens, h.segments[i].lane_lens);
+    EXPECT_EQ(parsed.arith[i], arith[i]);
+  }
+}
+
+TEST(Format, RejectsCorruptLaneTable) {
+  lepton::util::Rng rng(78);
+  // Lane lengths that do not sum to the payload length.
+  {
+    auto h = sample_header(2, rng);
+    auto arith = sample_arith(2, rng);
+    assign_lane_tables(h, arith, rng);
+    h.segments[1].lane_lens.back() += 1;
+    auto bytes = lc::serialize_container(h, arith);
+    EXPECT_THROW(lc::parse_container({bytes.data(), bytes.size()}),
+                 jf::ParseError);
+  }
+  // More lanes than kMaxLanes admits.
+  {
+    auto h = sample_header(1, rng);
+    auto arith = sample_arith(1, rng);
+    h.version = lc::kFormatVersionV3;
+    h.segments[0].lane_lens.assign(lc::kMaxLanes + 1, 0);
+    h.segments[0].lane_lens.back() =
+        static_cast<std::uint32_t>(arith[0].size());
+    auto bytes = lc::serialize_container(h, arith);
+    EXPECT_THROW(lc::parse_container({bytes.data(), bytes.size()}),
+                 jf::ParseError);
+  }
+}
+
+TEST(Format, V3StructuralFuzzNeverCrashes) {
+  lepton::util::Rng rng(79);
+  auto h = sample_header(4, rng);
+  auto arith = sample_arith(4, rng);
+  assign_lane_tables(h, arith, rng);
+  auto bytes = lc::serialize_container(h, arith);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto mutated = bytes;
+    for (int i = 0; i < 8; ++i) {
+      mutated[rng.below(mutated.size())] =
+          static_cast<std::uint8_t>(rng.below(256));
+    }
+    try {
+      (void)lc::parse_container({mutated.data(), mutated.size()});
+    } catch (const jf::ParseError&) {
+      // classified rejection is the expected outcome
+    }
+  }
+  SUCCEED();
 }
 
 TEST(Format, RejectsBadMagicAndTruncation) {
