@@ -11,6 +11,11 @@
 // server will attempt the conversion with a longer window"). This is the
 // wiring the simulator only models: session deadlines -> kTimeout trailers
 // -> fleet requeue, with per-request TTFB/bytes/exit-code stats.
+//
+// Act 3 — the daemon fleet: three event-plane TCP daemons (the leptond
+// connection plane) on local ports, one of them kill-switched and one
+// endpoint pointing at nothing, served through health-checked requeue —
+// probes route traffic around the dead and refusing members.
 #include <unistd.h>
 
 #include <cstdio>
@@ -18,6 +23,7 @@
 
 #include "corpus/corpus.h"
 #include "lepton/context.h"
+#include "leptond/event_server.h"
 #include "server/server.h"
 #include "storage/fleet.h"
 #include "util/exit_codes.h"
@@ -138,9 +144,76 @@ int act2_real_requeue() {
   return 0;
 }
 
+int act3_tcp_daemon_fleet() {
+  std::printf("\nact 3: health-checked requeue over a TCP daemon fleet\n\n");
+
+  lepton::CodecContext ctx(4);
+  auto make = [&ctx](lepton::leptond::EventServer*& out) {
+    lepton::leptond::EventServerConfig ec;
+    ec.listen = "tcp:127.0.0.1:0";  // ephemeral port, read back after start
+    ec.workers = 2;
+    out = new lepton::leptond::EventServer(std::move(ec), &ctx);
+    return out->start();
+  };
+  lepton::leptond::EventServer *d1 = nullptr, *d2 = nullptr, *d3 = nullptr;
+  if (!make(d1) || !make(d2) || !make(d3)) {
+    std::fprintf(stderr, "cannot start daemons\n");
+    return 1;
+  }
+  // Daemon 3 is kill-switched: it answers PING (shutoff engaged in the
+  // trailer) but would refuse every encode.
+  d3->service().store()->set_shutoff(true);
+
+  std::vector<std::vector<std::uint8_t>> files;
+  for (int i = 0; i < 4; ++i) {
+    files.push_back(lepton::corpus::jpeg_of_size(96 << 10, 9000 + i));
+  }
+
+  RequeueConfig rq;
+  rq.endpoints = {d1->bound_address(), d2->bound_address(),
+                  d3->bound_address(),
+                  "tcp:127.0.0.1:9"};  // nobody listens here
+  rq.op = FleetOp::kEncode;
+  rq.first_deadline = std::chrono::milliseconds(0);
+  rq.health_check = true;
+  auto m = run_fleet_requeue(rq, files);
+
+  std::printf("endpoints: 2 healthy, 1 kill-switched, 1 dead\n");
+  std::printf("probes=%llu demoted=%llu requests=%llu requeues=%llu "
+              "succeeded=%llu\n",
+              static_cast<unsigned long long>(m.health_probes),
+              static_cast<unsigned long long>(m.unhealthy_endpoints),
+              static_cast<unsigned long long>(m.requests),
+              static_cast<unsigned long long>(m.requeues),
+              static_cast<unsigned long long>(m.succeeded));
+  auto sa = d1->stats(), sb = d2->stats(), sc = d3->stats();
+  std::printf("daemon requests: healthy-a=%llu healthy-b=%llu "
+              "kill-switched=%llu\n",
+              static_cast<unsigned long long>(sa.requests),
+              static_cast<unsigned long long>(sb.requests),
+              static_cast<unsigned long long>(sc.requests));
+
+  d1->stop();
+  d2->stop();
+  d3->stop();
+  bool routed_clean = m.succeeded == m.requests && sc.requests == 0;
+  delete d1;
+  delete d2;
+  delete d3;
+  if (!routed_clean) {
+    std::fprintf(stderr,
+                 "expected all conversions on the two healthy daemons\n");
+    return 1;
+  }
+  std::printf("\nall conversions landed on the two healthy daemons; the "
+              "dead and kill-switched endpoints never saw a request\n");
+  return 0;
+}
+
 }  // namespace
 
 int main() {
   act1_simulated_outsourcing();
-  return act2_real_requeue();
+  if (int rc = act2_real_requeue(); rc != 0) return rc;
+  return act3_tcp_daemon_fleet();
 }

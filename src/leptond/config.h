@@ -1,0 +1,46 @@
+// leptond's configuration layer: a key=value config file and command-line
+// flags over it (flags win). The keys are the operator surface documented
+// in docs/OPERATIONS.md §"leptond"; parsing lives apart from main() so
+// tests can exercise it without forking a daemon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lepton::leptond {
+
+struct DaemonConfig {
+  std::string config_file;           // --config (read before other flags)
+  std::string listen = "tcp:127.0.0.1:2929";
+  std::string plane = "event";       // "event" (epoll + pool) or "thread"
+  int workers = 4;                   // event plane's fixed worker pool
+  int codec_threads = 0;             // CodecContext pool size; 0 = default
+  int max_in_flight = 4;
+  std::uint64_t max_body_bytes = 6u << 20;
+  std::uint64_t idle_timeout_ms = 30000;
+  std::string shutoff_file;          // §5.7 kill-switch file (SIGHUP re-stats)
+  std::string pidfile;
+  bool quiet = false;
+};
+
+// Applies one key/value (config-file line or --flag). Unknown key or
+// malformed value: false with *err set.
+bool apply_option(DaemonConfig* cfg, const std::string& key,
+                  const std::string& value, std::string* err);
+
+// Parses config-file text: one "key value" or "key = value" per line,
+// '#' comments, blank lines ignored.
+bool parse_config_text(const std::string& text, DaemonConfig* cfg,
+                       std::string* err);
+
+// Full flag parsing: finds --config first, loads the file, then applies
+// the remaining flags over it. argv-style input sans argv[0].
+// *show_help is set when --help is present.
+bool parse_args(const std::vector<std::string>& args, DaemonConfig* cfg,
+                std::string* err, bool* show_help);
+
+// The --help text (shared with error messages).
+std::string usage_text();
+
+}  // namespace lepton::leptond

@@ -1,0 +1,188 @@
+// leptonctl — operator CLI for a running leptond (docs/OPERATIONS.md).
+//
+//   leptonctl tcp:127.0.0.1:2929 ping
+//   leptonctl tcp:127.0.0.1:2929 stats
+//   leptonctl unix:/run/lepton.sock encode in.jpg out.lep
+//   leptonctl tcp:127.0.0.1:2929 selftest
+//
+// Every subcommand is one client conversation over the PROTOCOL.md frame
+// protocol; `selftest` is the CI smoke probe — it generates a deterministic
+// corpus JPEG, round-trips it encode→decode through the daemon, and checks
+// the wire results byte-for-byte against the in-process codec.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "lepton/codec.h"
+#include "server/client.h"
+#include "util/exit_codes.h"
+
+namespace {
+
+using lepton::server::LeptonClient;
+using lepton::server::RequestResult;
+
+int usage() {
+  std::fputs(
+      "usage: leptonctl ENDPOINT COMMAND [args]\n"
+      "  ENDPOINT               tcp:host:port | unix:/path\n"
+      "commands:\n"
+      "  ping                   liveness probe (prints shutoff state)\n"
+      "  stats                  print the server's STATS text\n"
+      "  shutoff-engage         set the server's kill-switch\n"
+      "  shutoff-clear          clear the process-local kill-switch\n"
+      "  shutoff-query          forced re-check of the kill-switch\n"
+      "  encode IN.jpg OUT.lep  compress a JPEG through the server\n"
+      "  decode IN.lep OUT.jpg  decompress a container through the server\n"
+      "  selftest               encode+decode a generated JPEG over the\n"
+      "                         wire; verify byte-identity vs in-process\n",
+      stderr);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream body;
+  body << f.rdbuf();
+  std::string s = body.str();
+  out->assign(s.begin(), s.end());
+  return true;
+}
+
+bool write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return f.good();
+}
+
+// 0 on success; 1 with a diagnostic otherwise.
+int check(const RequestResult& r, const char* what) {
+  if (r.ok()) return 0;
+  std::fprintf(stderr, "leptonctl: %s failed: %s (%s)\n", what,
+               std::string(lepton::util::exit_code_name(r.code)).c_str(),
+               r.message.empty() ? "no detail" : r.message.c_str());
+  return 1;
+}
+
+int cmd_transfer(LeptonClient& cli, bool is_encode, const std::string& in,
+                 const std::string& out) {
+  std::vector<std::uint8_t> body;
+  if (!read_file(in, &body)) {
+    std::fprintf(stderr, "leptonctl: cannot read %s\n", in.c_str());
+    return 1;
+  }
+  RequestResult r = is_encode ? cli.encode(body) : cli.decode(body);
+  if (int rc = check(r, is_encode ? "encode" : "decode"); rc != 0) return rc;
+  if (!write_file(out, r.data)) {
+    std::fprintf(stderr, "leptonctl: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "leptonctl: %s %zu -> %zu bytes (%.1f ms)\n",
+               is_encode ? "encoded" : "decoded", body.size(), r.data.size(),
+               r.total_s * 1000.0);
+  return 0;
+}
+
+int cmd_selftest(const std::string& endpoint) {
+  // Deterministic input, sized to exercise real model state but stay fast.
+  std::vector<std::uint8_t> jpeg = lepton::corpus::jpeg_of_size(96 << 10, 7);
+
+  // The in-process reference this daemon's answers must match exactly.
+  lepton::Result ref = lepton::encode_jpeg(jpeg);
+  if (ref.code != lepton::util::ExitCode::kSuccess) {
+    std::fprintf(stderr, "leptonctl: selftest reference encode failed\n");
+    return 1;
+  }
+
+  LeptonClient cli = LeptonClient::connect(endpoint);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "leptonctl: connect %s: %s\n", endpoint.c_str(),
+                 cli.message().c_str());
+    return 1;
+  }
+  RequestResult enc = cli.encode(jpeg);
+  if (int rc = check(enc, "selftest encode"); rc != 0) return rc;
+  if (enc.data != ref.data) {
+    std::fprintf(stderr,
+                 "leptonctl: selftest FAILED: wire container differs from "
+                 "in-process (%zu vs %zu bytes)\n",
+                 enc.data.size(), ref.data.size());
+    return 1;
+  }
+  RequestResult dec = cli.decode(enc.data);
+  if (int rc = check(dec, "selftest decode"); rc != 0) return rc;
+  if (dec.data != jpeg) {
+    std::fprintf(stderr,
+                 "leptonctl: selftest FAILED: decoded JPEG differs from "
+                 "input (%zu vs %zu bytes)\n",
+                 dec.data.size(), jpeg.size());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "leptonctl: selftest OK (%zu byte JPEG -> %zu byte "
+               "container, byte-identical round trip)\n",
+               jpeg.size(), enc.data.size());
+  return 0;
+}
+
+int cmd_shutoff(LeptonClient& cli, lepton::server::ShutoffOp op,
+                const char* what) {
+  RequestResult r = cli.shutoff(op);
+  if (int rc = check(r, what); rc != 0) return rc;
+  std::printf("shutoff %s\n", r.shutoff_engaged ? "engaged" : "clear");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  std::string endpoint = argv[1];
+  std::string cmd = argv[2];
+
+  if (cmd == "selftest") return cmd_selftest(endpoint);
+
+  LeptonClient cli = LeptonClient::connect(endpoint);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "leptonctl: connect %s: %s\n", endpoint.c_str(),
+                 cli.message().c_str());
+    return 1;
+  }
+
+  if (cmd == "ping") {
+    RequestResult r = cli.ping();
+    if (int rc = check(r, "ping"); rc != 0) return rc;
+    std::printf("pong (%.2f ms, shutoff %s)\n", r.total_s * 1000.0,
+                r.shutoff_engaged ? "engaged" : "clear");
+    return 0;
+  }
+  if (cmd == "stats") {
+    RequestResult r = cli.stats();
+    if (int rc = check(r, "stats"); rc != 0) return rc;
+    std::fwrite(r.data.data(), 1, r.data.size(), stdout);
+    return 0;
+  }
+  if (cmd == "shutoff-engage") {
+    return cmd_shutoff(cli, lepton::server::ShutoffOp::kEngage, "shutoff");
+  }
+  if (cmd == "shutoff-clear") {
+    return cmd_shutoff(cli, lepton::server::ShutoffOp::kClear, "shutoff");
+  }
+  if (cmd == "shutoff-query") {
+    return cmd_shutoff(cli, lepton::server::ShutoffOp::kQuery, "shutoff");
+  }
+  if (cmd == "encode" || cmd == "decode") {
+    if (argc != 5) return usage();
+    return cmd_transfer(cli, cmd == "encode", argv[3], argv[4]);
+  }
+  return usage();
+}

@@ -3,12 +3,13 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+
+#include "server/endpoint.h"
 
 namespace lepton::server {
 namespace {
@@ -36,24 +37,17 @@ void append_frame(std::vector<std::uint8_t>& out, FrameType type,
 
 }  // namespace
 
-LeptonClient LeptonClient::connect(const std::string& socket_path) {
+LeptonClient LeptonClient::connect(const std::string& endpoint) {
   LeptonClient c;
-  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  Endpoint ep;
+  std::string err;
+  if (!parse_endpoint(endpoint, &ep, &err)) {
+    c.message_ = err;
+    return c;
+  }
+  int fd = connect_endpoint(ep, &err);
   if (fd < 0) {
-    c.message_ = errno_message("socket");
-    return c;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof addr.sun_path) {
-    ::close(fd);
-    c.message_ = "socket path too long";
-    return c;
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    c.message_ = errno_message("connect");
-    ::close(fd);
+    c.message_ = err;
     return c;
   }
   c.fd_ = fd;
@@ -94,13 +88,17 @@ RequestResult LeptonClient::decode(std::span<const std::uint8_t> lep,
   return transact(FrameType::kDecode, lep, opts);
 }
 
-RequestResult LeptonClient::ping() {
-  return transact(FrameType::kPing, {}, {});
+RequestResult LeptonClient::ping(const RequestOptions& opts) {
+  return transact(FrameType::kPing, {}, opts);
 }
 
 RequestResult LeptonClient::shutoff(ShutoffOp op) {
   std::uint8_t b = static_cast<std::uint8_t>(op);
   return transact(FrameType::kShutoff, {&b, 1}, {});
+}
+
+RequestResult LeptonClient::stats() {
+  return transact(FrameType::kStats, {}, {});
 }
 
 RequestResult LeptonClient::transact(FrameType open_type,
@@ -249,8 +247,16 @@ RequestResult LeptonClient::transact(FrameType open_type,
       } else if (n == 0 ||
                  (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
                   errno != EINTR)) {
+        // A hard reset (TCP RST — the server died or the network did) is a
+        // transport failure exactly like a silent close: kShortRead with
+        // transport_ok == false, so the fleet requeue path retries it on
+        // another server (§6.6) instead of misreading it as a protocol
+        // violation of this one.
         r.code = ExitCode::kShortRead;
-        r.message = "connection closed before trailer";
+        r.message = n == 0 ? "connection closed before trailer"
+                           : (errno == ECONNRESET
+                                  ? "connection reset before trailer"
+                                  : errno_message("recv"));
         dead = true;
       }
     }

@@ -2,7 +2,7 @@
 //
 // One LeptonClient wraps one connection and issues sequential requests:
 //
-//   auto cli = lepton::server::LeptonClient::connect(path);
+//   auto cli = lepton::server::LeptonClient::connect(endpoint);
 //   auto r = cli.encode(jpeg_bytes, {.deadline = 50ms});
 //   if (r.code == util::ExitCode::kSuccess) use(r.data);
 //
@@ -64,9 +64,10 @@ struct RequestResult {
 
 class LeptonClient {
  public:
-  // Connects to a server's unix socket. Check ok(); a failed connect keeps
-  // errno's message in message().
-  static LeptonClient connect(const std::string& socket_path);
+  // Connects to a server endpoint — "unix:/path", a bare filesystem path,
+  // or "tcp:host:port" (endpoint.h; TCP sockets get TCP_NODELAY). Check
+  // ok(); a failed connect keeps the failure's message in message().
+  static LeptonClient connect(const std::string& endpoint);
 
   LeptonClient() = default;
   ~LeptonClient();
@@ -85,10 +86,16 @@ class LeptonClient {
   RequestResult decode(std::span<const std::uint8_t> lep,
                        const RequestOptions& opts = {});
   // Liveness probe; result.shutoff_engaged reports the (TTL-cached) switch.
-  RequestResult ping();
+  // `opts` only matters for its transport_timeout (health probes use a
+  // tight one); a deadline is meaningless for a request with no session.
+  RequestResult ping(const RequestOptions& opts = {});
   // Kill-switch operation; result.shutoff_engaged is the state after the
   // op, from a forced (TTL-bypassing) re-check.
   RequestResult shutoff(ShutoffOp op);
+  // Operator metrics: result.data holds the server's STATS text ("key
+  // value" lines — docs/PROTOCOL.md §"STATS"). A pre-STATS server answers
+  // kImpossible and closes; that is the defined probe semantics.
+  RequestResult stats();
 
   void close();
 

@@ -1,0 +1,284 @@
+#include "server/endpoint.h"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lepton::server {
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+// Splits "host:port" with optional [brackets] around a v6 host. The port is
+// everything after the *last* colon, so bare v6 addresses must be bracketed.
+bool split_host_port(const std::string& s, std::string* host,
+                     std::string* port, std::string* err) {
+  if (!s.empty() && s.front() == '[') {
+    auto close = s.find(']');
+    if (close == std::string::npos || close + 1 >= s.size() ||
+        s[close + 1] != ':') {
+      if (err != nullptr) *err = "tcp endpoint: expected [host]:port";
+      return false;
+    }
+    *host = s.substr(1, close - 1);
+    *port = s.substr(close + 2);
+  } else {
+    auto colon = s.rfind(':');
+    if (colon == std::string::npos) {
+      if (err != nullptr) *err = "tcp endpoint: expected host:port";
+      return false;
+    }
+    *host = s.substr(0, colon);
+    *port = s.substr(colon + 1);
+  }
+  if (host->empty() || port->empty()) {
+    if (err != nullptr) *err = "tcp endpoint: empty host or port";
+    return false;
+  }
+  return true;
+}
+
+// Canonical "tcp:ip:port" of a bound/connected local socket address.
+std::string format_sockaddr(const sockaddr* sa) {
+  char ip[INET6_ADDRSTRLEN] = {0};
+  unsigned port = 0;
+  if (sa->sa_family == AF_INET) {
+    const auto* in4 = reinterpret_cast<const sockaddr_in*>(sa);
+    ::inet_ntop(AF_INET, &in4->sin_addr, ip, sizeof ip);
+    port = ntohs(in4->sin_port);
+    return "tcp:" + std::string(ip) + ":" + std::to_string(port);
+  }
+  if (sa->sa_family == AF_INET6) {
+    const auto* in6 = reinterpret_cast<const sockaddr_in6*>(sa);
+    ::inet_ntop(AF_INET6, &in6->sin6_addr, ip, sizeof ip);
+    port = ntohs(in6->sin6_port);
+    return "tcp:[" + std::string(ip) + "]:" + std::to_string(port);
+  }
+  return "tcp:?";
+}
+
+bool fill_unix_addr(const std::string& path, sockaddr_un* addr,
+                    std::string* err) {
+  *addr = {};
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr->sun_path) {
+    if (err != nullptr) *err = "socket path too long";
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+bool parse_endpoint(const std::string& s, Endpoint* ep, std::string* err) {
+  *ep = {};
+  if (s.empty()) {
+    if (err != nullptr) *err = "empty endpoint";
+    return false;
+  }
+  if (s.rfind("unix:", 0) == 0) {
+    ep->kind = Endpoint::Kind::kUnix;
+    ep->path = s.substr(5);
+    if (ep->path.empty()) {
+      if (err != nullptr) *err = "unix endpoint: empty path";
+      return false;
+    }
+    return true;
+  }
+  if (s.rfind("tcp:", 0) == 0) {
+    ep->kind = Endpoint::Kind::kTcp;
+    return split_host_port(s.substr(4), &ep->host, &ep->port, err);
+  }
+  // No scheme: a filesystem path (the pre-TCP config shape keeps working).
+  ep->kind = Endpoint::Kind::kUnix;
+  ep->path = s;
+  return true;
+}
+
+std::string endpoint_to_string(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) return "unix:" + ep.path;
+  if (ep.host.find(':') != std::string::npos) {
+    return "tcp:[" + ep.host + "]:" + ep.port;
+  }
+  return "tcp:" + ep.host + ":" + ep.port;
+}
+
+int listen_endpoint(const Endpoint& ep, std::string* err, std::string* bound,
+                    int backlog) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (err != nullptr) *err = errno_message("socket");
+      return -1;
+    }
+    sockaddr_un addr;
+    if (!fill_unix_addr(ep.path, &addr, err)) {
+      ::close(fd);
+      return -1;
+    }
+    ::unlink(ep.path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+        ::listen(fd, backlog) < 0) {
+      if (err != nullptr) *err = errno_message("bind/listen");
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return -1;
+    }
+    if (bound != nullptr) *bound = "unix:" + ep.path;
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  int gai = ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &res);
+  if (gai != 0) {
+    if (err != nullptr) {
+      *err = std::string("getaddrinfo: ") + ::gai_strerror(gai);
+    }
+    return -1;
+  }
+  int fd = -1;
+  std::string last_err = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno_message("socket");
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (ai->ai_family == AF_INET6) {
+      // Keep "[::]" and "0.0.0.0" separate sockets so binding both never
+      // conflicts and the bound-address string means what it says.
+      ::setsockopt(fd, IPPROTO_IPV6, IPV6_V6ONLY, &one, sizeof one);
+    }
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, backlog) == 0) {
+      break;
+    }
+    last_err = errno_message("bind/listen");
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    if (err != nullptr) *err = last_err;
+    return -1;
+  }
+  if (bound != nullptr) {
+    // Report the kernel's view: for port 0 this carries the real port.
+    sockaddr_storage ss{};
+    socklen_t slen = sizeof ss;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &slen) == 0) {
+      *bound = format_sockaddr(reinterpret_cast<sockaddr*>(&ss));
+    } else {
+      *bound = endpoint_to_string(ep);
+    }
+  }
+  return fd;
+}
+
+int connect_endpoint(const Endpoint& ep, std::string* err) {
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      if (err != nullptr) *err = errno_message("socket");
+      return -1;
+    }
+    sockaddr_un addr;
+    if (!fill_unix_addr(ep.path, &addr, err)) {
+      ::close(fd);
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      if (err != nullptr) *err = errno_message("connect");
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      return -1;
+    }
+    return fd;
+  }
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  int gai = ::getaddrinfo(ep.host.c_str(), ep.port.c_str(), &hints, &res);
+  if (gai != 0) {
+    if (err != nullptr) {
+      *err = std::string("getaddrinfo: ") + ::gai_strerror(gai);
+    }
+    return -1;
+  }
+  int fd = -1;
+  std::string last_err = "no usable address";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_err = errno_message("socket");
+      continue;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      set_tcp_nodelay(fd);
+      break;
+    }
+    last_err = errno_message("connect");
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0 && err != nullptr) *err = last_err;
+  return fd;
+}
+
+void tune_accepted_socket(int fd) {
+  sockaddr_storage ss{};
+  socklen_t slen = sizeof ss;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &slen) == 0 &&
+      (ss.ss_family == AF_INET || ss.ss_family == AF_INET6)) {
+    set_tcp_nodelay(fd);
+  }
+}
+
+void unlink_endpoint(const Endpoint& ep) {
+  if (ep.kind == Endpoint::Kind::kUnix) ::unlink(ep.path.c_str());
+}
+
+int count_open_fds() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return -1;
+  int n = 0;
+  while (::readdir(d) != nullptr) ++n;
+  ::closedir(d);
+  return n - 2 - 1;  // ".", "..", and the directory's own fd
+}
+
+}  // namespace lepton::server

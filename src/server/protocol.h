@@ -36,6 +36,11 @@ enum class FrameType : std::uint8_t {
   kDecode = 0x02,   // body = Lepton container, response body = JPEG file
   kPing = 0x03,     // no body; immediate trailer (liveness + shutoff state)
   kShutoff = 0x04,  // no body; 1-byte payload operates the kill-switch
+  kStats = 0x05,    // no body; response = DATA (text key/value lines) +
+                    // trailer. Additive to version 1: a server that does
+                    // not speak it answers kImpossible and closes, which is
+                    // the protocol's defined reaction to unknown types —
+                    // clients probe, they do not negotiate.
   // Stream frames (both directions).
   kData = 0x10,     // a body slice (request input or response output)
   kEnd = 0x11,      // terminates a request body (no payload)
@@ -114,6 +119,7 @@ inline bool parse_frame_header(const std::uint8_t in[kFrameHeaderSize],
     case FrameType::kDecode:
     case FrameType::kPing:
     case FrameType::kShutoff:
+    case FrameType::kStats:
     case FrameType::kEnd:
     case FrameType::kTrailer:
       return h->length <= kMaxControlFrame;

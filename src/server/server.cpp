@@ -1,250 +1,94 @@
 #include "server/server.h"
 
 #include <sys/socket.h>
-#include <sys/uio.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <cstring>
 
-#include "lepton/context.h"
-#include "lepton/session.h"
-#include "server/protocol.h"
+#include "server/sockio.h"
 
 namespace lepton::server {
 namespace {
 
-using util::ExitCode;
-
-// ---- blocking socket helpers ----------------------------------------------
-
-bool send_all(int fd, const void* data, std::size_t n) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  while (n > 0) {
-    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
+ServiceConfig to_service_config(const ServerConfig& cfg) {
+  ServiceConfig s;
+  s.max_in_flight = cfg.max_in_flight;
+  s.max_body_bytes = cfg.max_body_bytes;
+  s.idle_read_timeout = cfg.idle_read_timeout;
+  s.store = cfg.store;
+  s.encode_opts = cfg.encode_opts;
+  s.decode_opts = cfg.decode_opts;
+  return s;
 }
-
-timeval to_timeval(std::chrono::milliseconds ms) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
-  return tv;
-}
-
-void set_recv_timeout(int fd, std::chrono::milliseconds ms) {
-  timeval tv = to_timeval(ms);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
-}
-
-// Response writes must not block forever on a client that stops reading:
-// with a send timeout, a stalled ::sendmsg fails with EAGAIN, the sink
-// marks itself broken, and the request thread unwinds through the
-// disconnect path — releasing its admission slot instead of wedging
-// stop()/drain. The slow consumer pays with its connection.
-void set_send_timeout(int fd, std::chrono::milliseconds ms) {
-  timeval tv = to_timeval(ms);
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
-}
-
-enum class ReadStatus { kOk, kEof, kTruncated, kTimedOut, kError };
-
-// Reads exactly `n` bytes. kEof only when the peer closed cleanly before
-// the first byte; a close partway through is kTruncated (the §6.2 short
-// read, at the frame layer).
-ReadStatus read_exact(int fd, std::uint8_t* out, std::size_t n) {
-  std::size_t got = 0;
-  while (got < n) {
-    ssize_t r = ::recv(fd, out + got, n - got, 0);
-    if (r == 0) return got == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimedOut;
-      return ReadStatus::kError;
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return ReadStatus::kOk;
-}
-
-// Deadline-bounded read_exact: re-arms SO_RCVTIMEO with the *remaining*
-// wall budget before every recv. Plain SO_RCVTIMEO alone bounds only
-// inactivity — a hostile client dribbling one byte per interval restarts
-// the idle window forever while holding an admission slot (slow loris);
-// the absolute deadline is what actually bounds the body phase.
-ReadStatus read_exact_deadline(int fd, std::uint8_t* out, std::size_t n,
-                               std::chrono::steady_clock::time_point deadline) {
-  std::size_t got = 0;
-  while (got < n) {
-    auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
-    if (remain.count() <= 0) return ReadStatus::kTimedOut;
-    set_recv_timeout(fd, remain + std::chrono::milliseconds(1));
-    ssize_t r = ::recv(fd, out + got, n - got, 0);
-    if (r == 0) return got == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimedOut;
-      return ReadStatus::kError;
-    }
-    got += static_cast<std::size_t>(r);
-  }
-  return ReadStatus::kOk;
-}
-
-// Streams session output as DATA frames. A send failure marks the sink
-// broken and cancels the request's RunControl, so the session aborts at its
-// next MCU-row poll instead of converting for a dead peer.
-class SocketSink : public ByteSink {
- public:
-  SocketSink(int fd, RunControl* rc) : fd_(fd), rc_(rc) {}
-
-  void append(std::span<const std::uint8_t> b) override {
-    if (broken_) return;
-    std::size_t off = 0;
-    while (off < b.size()) {
-      auto n = static_cast<std::uint32_t>(
-          std::min<std::size_t>(b.size() - off, kMaxDataFrame));
-      std::uint8_t hdr[kFrameHeaderSize];
-      write_frame_header(hdr, {FrameType::kData, 0, n});
-      iovec iov[2] = {{hdr, kFrameHeaderSize},
-                      {const_cast<std::uint8_t*>(b.data() + off), n}};
-      if (!writev_all(iov)) {
-        broken_ = true;
-        rc_->request_cancel();
-        return;
-      }
-      if (!saw_first_) {
-        first_ = std::chrono::steady_clock::now();
-        saw_first_ = true;
-      }
-      bytes_ += n;
-      off += n;
-    }
-  }
-
-  bool broken() const { return broken_; }
-  std::uint64_t bytes() const { return bytes_; }
-  bool saw_first() const { return saw_first_; }
-  std::chrono::steady_clock::time_point first_byte() const { return first_; }
-
- private:
-  bool writev_all(iovec iov[2]) {
-    std::size_t total = iov[0].iov_len + iov[1].iov_len;
-    std::size_t sent = 0;
-    while (sent < total) {
-      iovec cur[2];
-      int cnt = 0;
-      std::size_t skip = sent;
-      for (int i = 0; i < 2; ++i) {
-        if (skip >= iov[i].iov_len) {
-          skip -= iov[i].iov_len;
-          continue;
-        }
-        cur[cnt].iov_base = static_cast<std::uint8_t*>(iov[i].iov_base) + skip;
-        cur[cnt].iov_len = iov[i].iov_len - skip;
-        skip = 0;
-        ++cnt;
-      }
-      msghdr msg{};
-      msg.msg_iov = cur;
-      msg.msg_iovlen = static_cast<std::size_t>(cnt);
-      ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
-      if (w < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      sent += static_cast<std::size_t>(w);
-    }
-    return true;
-  }
-
-  int fd_;
-  RunControl* rc_;
-  bool broken_ = false;
-  bool saw_first_ = false;
-  std::chrono::steady_clock::time_point first_;
-  std::uint64_t bytes_ = 0;
-};
 
 }  // namespace
 
-// Per-connection state. rc lives here (not in the request scope) so
-// shutdown_now() can trip an in-flight request's control from another
-// thread while the request thread is inside feed()/finish().
-struct LeptonServer::Conn {
-  int fd = -1;
-  RunControl rc;
-  // Alternating body buffers: EncodeSession::feed borrows its first slice
-  // until the *next* feed returns (session.h lifetime contract), so the
-  // frame we just fed must stay intact while the next one is read.
-  std::vector<std::uint8_t> body[2];
-  int body_ix = 0;
-};
-
 LeptonServer::LeptonServer(ServerConfig cfg, CodecContext* ctx)
-    : cfg_(std::move(cfg)), ctx_(ctx != nullptr ? *ctx : default_context()) {
-  if (cfg_.store == nullptr) {
-    own_store_ = std::make_unique<TransparentStore>();
-    store_ = own_store_.get();
-  } else {
-    store_ = cfg_.store;
-  }
+    : cfg_(std::move(cfg)), service_(to_service_config(cfg_), ctx) {
+  service_.set_extra_stats([this] {
+    std::size_t threads;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      threads = conn_threads_.size();
+    }
+    std::string t = "plane thread\n";
+    t += "connection_threads " + std::to_string(threads) + "\n";
+    t += "open_fds " + std::to_string(count_open_fds()) + "\n";
+    return t;
+  });
 }
 
 LeptonServer::~LeptonServer() { stop(); }
 
 bool LeptonServer::start() {
   if (running_.load(std::memory_order_acquire)) return true;
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  const std::string& spec =
+      !cfg_.listen.empty() ? cfg_.listen : cfg_.socket_path;
+  std::string err;
+  if (!parse_endpoint(spec, &endpoint_, &err)) {
+    errno = EINVAL;
+    return false;
+  }
+  listen_fd_ = listen_endpoint(endpoint_, &err, &bound_, /*backlog=*/256);
   if (listen_fd_ < 0) return false;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (cfg_.socket_path.size() >= sizeof addr.sun_path) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    errno = ENAMETOOLONG;
-    return false;
-  }
-  std::memcpy(addr.sun_path, cfg_.socket_path.c_str(),
-              cfg_.socket_path.size() + 1);
-  ::unlink(cfg_.socket_path.c_str());
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
-  }
+  service_.reset();
   stopping_.store(false, std::memory_order_release);
-  cancel_all_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread(&LeptonServer::accept_loop, this);
   return true;
 }
 
 void LeptonServer::accept_loop() {
+  auto backoff = std::chrono::milliseconds(10);
   for (;;) {
     int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Descriptor/buffer exhaustion is a load condition, not a listener
+        // failure: the pending connection stays in the kernel backlog, so
+        // back off (slots free as requests finish) and retry instead of
+        // silently ending the accept thread — which would leave a healthy-
+        // looking daemon that never answers again.
+        service_.record_accept_retry();
+        if (stopping_.load(std::memory_order_acquire)) return;
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(500));
+        continue;
+      }
       return;  // listener closed by stop()
     }
+    backoff = std::chrono::milliseconds(10);
+    tune_accepted_socket(fd);
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) {
+    if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
     }
     reap_finished_locked();
-    ++stats_.connections;
+    service_.record_connection();
     conn_threads_.emplace_back(&LeptonServer::serve_connection, this, fd);
   }
 }
@@ -270,16 +114,16 @@ void LeptonServer::stop() {
     std::lock_guard<std::mutex> lk(mu_);
     stopping_.store(true, std::memory_order_release);
   }
-  slot_cv_.notify_all();
+  service_.begin_drain();
   // Wake the accept loop.
   ::shutdown(listen_fd_, SHUT_RDWR);
   // Graceful drain: in-flight requests run to their trailer. (shutdown_now
   // trips their controls first, so this converges quickly there too.)
+  service_.wait_idle();
   {
-    std::unique_lock<std::mutex> lk(mu_);
-    slot_cv_.wait(lk, [&] { return stats_.in_flight == 0; });
+    std::lock_guard<std::mutex> lk(mu_);
     // Unblock connections parked in a header read.
-    for (Conn* c : live_conns_) ::shutdown(c->fd, SHUT_RDWR);
+    for (ServiceConn* c : live_conns_) ::shutdown(c->fd, SHUT_RDWR);
   }
   std::vector<std::thread> threads;
   {
@@ -290,71 +134,26 @@ void LeptonServer::stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
   listen_fd_ = -1;
-  ::unlink(cfg_.socket_path.c_str());
+  unlink_endpoint(endpoint_);
   running_.store(false, std::memory_order_release);
 }
 
 void LeptonServer::shutdown_now() {
   if (!running_.load(std::memory_order_acquire)) return;
-  cancel_all_.store(true, std::memory_order_release);
+  service_.cancel_all();
   {
     std::lock_guard<std::mutex> lk(mu_);
     // Trip every in-flight session; workers notice at MCU-row granularity.
-    for (Conn* c : live_conns_) c->rc.request_cancel();
+    for (ServiceConn* c : live_conns_) c->rc.request_cancel();
     // And unblock body reads so stalled requests die now, not at the idle
     // timeout.
-    for (Conn* c : live_conns_) ::shutdown(c->fd, SHUT_RDWR);
+    for (ServiceConn* c : live_conns_) ::shutdown(c->fd, SHUT_RDWR);
   }
   stop();
 }
 
-ServerStats LeptonServer::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return stats_;
-}
-
-bool LeptonServer::acquire_slot(Conn& c) {
-  (void)c;
-  std::unique_lock<std::mutex> lk(mu_);
-  slot_cv_.wait(lk, [&] {
-    return stopping_ || stats_.in_flight < cfg_.max_in_flight;
-  });
-  if (stopping_) return false;
-  ++stats_.requests;
-  ++stats_.in_flight;
-  if (stats_.in_flight > stats_.in_flight_peak) {
-    stats_.in_flight_peak = stats_.in_flight;
-  }
-  return true;
-}
-
-void LeptonServer::release_slot() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    --stats_.in_flight;
-  }
-  slot_cv_.notify_all();
-}
-
-namespace {
-
-bool send_trailer(int fd, ExitCode code, bool shutoff, std::uint64_t in,
-                  std::uint64_t out) {
-  std::uint8_t buf[kFrameHeaderSize + kTrailerPayloadSize];
-  write_frame_header(buf, {FrameType::kTrailer, 0, kTrailerPayloadSize});
-  TrailerPayload t;
-  t.exit_code = static_cast<std::uint8_t>(code);
-  t.shutoff_engaged = shutoff;
-  t.bytes_in = in;
-  t.bytes_out = out;
-  write_trailer_payload(buf + kFrameHeaderSize, t);
-  return send_all(fd, buf, sizeof buf);
-}
-
-}  // namespace
-
 void LeptonServer::serve_connection(int fd) {
-  Conn conn;
+  ServiceConn conn;
   conn.fd = fd;
   set_send_timeout(fd, cfg_.idle_read_timeout);
   {
@@ -363,89 +162,17 @@ void LeptonServer::serve_connection(int fd) {
   }
 
   std::uint8_t hdr_buf[kFrameHeaderSize];
-  std::uint8_t ctl_buf[kMaxControlFrame];
   bool keep = true;
   while (keep && !stopping_.load(std::memory_order_acquire)) {
     set_recv_timeout(fd, cfg_.idle_read_timeout);
     ReadStatus rs = read_exact(fd, hdr_buf, kFrameHeaderSize);
     if (rs == ReadStatus::kEof) break;  // clean close between requests
     if (rs != ReadStatus::kOk) {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (rs == ReadStatus::kTruncated) {
-        // A frame died mid-header: the wire-level short read.
-        ++stats_.protocol_errors;
-        stats_.trailer_codes.add(
-            static_cast<unsigned>(ExitCode::kShortRead));
-      }
+      // A frame died mid-header: the wire-level short read.
+      if (rs == ReadStatus::kTruncated) service_.record_short_read();
       break;
     }
-    FrameHeader fh;
-    if (!parse_frame_header(hdr_buf, &fh)) {
-      // Oversized declared length or a frame no version-1 client sends.
-      // Rejected before any allocation; answer and hang up.
-      bool oversized = static_cast<FrameType>(hdr_buf[0]) == FrameType::kData;
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        if (oversized) {
-          ++stats_.oversized_rejects;
-        } else {
-          ++stats_.protocol_errors;
-        }
-        stats_.trailer_codes.add(
-            static_cast<unsigned>(ExitCode::kImpossible));
-      }
-      (void)send_trailer(fd, ExitCode::kImpossible, store_->shutoff_active(),
-                         0, 0);
-      break;
-    }
-    switch (fh.type) {
-      case FrameType::kPing: {
-        if (fh.length != 0 ||
-            !send_trailer(fd, ExitCode::kSuccess, store_->shutoff_active(), 0,
-                          0)) {
-          keep = false;
-        }
-        break;
-      }
-      case FrameType::kShutoff: {
-        if (fh.length != 1 ||
-            read_exact(fd, ctl_buf, 1) != ReadStatus::kOk) {
-          keep = false;
-          break;
-        }
-        auto op = static_cast<ShutoffOp>(ctl_buf[0]);
-        if (op == ShutoffOp::kEngage) store_->set_shutoff(true);
-        if (op == ShutoffOp::kClear) store_->set_shutoff(false);
-        // Every SHUTOFF answer re-stats the shutoff file (bypassing the
-        // 250 ms TTL cache): the operator asked *now*, not a TTL ago.
-        bool state = store_->recheck_shutoff();
-        keep = send_trailer(fd, ExitCode::kSuccess, state, 0, 0);
-        break;
-      }
-      case FrameType::kEncode:
-      case FrameType::kDecode: {
-        if (fh.length > kMaxControlFrame ||
-            read_exact(fd, ctl_buf, fh.length) != ReadStatus::kOk) {
-          keep = false;
-          break;
-        }
-        keep = serve_request(conn, hdr_buf[0], ctl_buf, fh.length);
-        break;
-      }
-      default: {
-        // DATA/END/TRAILER outside a request: protocol violation.
-        {
-          std::lock_guard<std::mutex> lk(mu_);
-          ++stats_.protocol_errors;
-          stats_.trailer_codes.add(
-              static_cast<unsigned>(ExitCode::kImpossible));
-        }
-        (void)send_trailer(fd, ExitCode::kImpossible, store_->shutoff_active(),
-                           0, 0);
-        keep = false;
-        break;
-      }
-    }
+    keep = service_.serve_frame(conn, hdr_buf, nullptr);
   }
 
   {
@@ -455,200 +182,6 @@ void LeptonServer::serve_connection(int fd) {
     finished_conn_ids_.push_back(std::this_thread::get_id());
   }
   ::close(fd);
-}
-
-bool LeptonServer::serve_request(Conn& c, std::uint8_t open_type,
-                                 const std::uint8_t* open_payload,
-                                 std::uint32_t open_len) {
-  const bool is_encode =
-      static_cast<FrameType>(open_type) == FrameType::kEncode;
-  OpenPayload open;
-  if (!parse_open_payload(open_payload, open_len, &open) ||
-      open.version != kProtocolVersion) {
-    {
-      // Never send while holding mu_: a client whose buffer is full would
-      // stall every other connection's stats/trailer path.
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.protocol_errors;
-      stats_.trailer_codes.add(static_cast<unsigned>(ExitCode::kImpossible));
-    }
-    (void)send_trailer(c.fd, ExitCode::kImpossible, store_->shutoff_active(),
-                       0, 0);
-    return false;
-  }
-
-  // Admission: block (not reject) until a slot frees — the unread socket is
-  // the backpressure signal to this client, §5.5-style.
-  if (!acquire_slot(c)) {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      stats_.trailer_codes.add(
-          static_cast<unsigned>(ExitCode::kServerShutdown));
-    }
-    (void)send_trailer(c.fd, ExitCode::kServerShutdown,
-                       store_->shutoff_active(), 0, 0);
-    return false;
-  }
-  struct SlotGuard {
-    LeptonServer* s;
-    ~SlotGuard() { s->release_slot(); }
-  } slot_guard{this};
-
-  const auto start = std::chrono::steady_clock::now();
-  c.rc.reset();
-  const bool has_deadline = open.deadline_ms > 0;
-  const auto deadline =
-      start + std::chrono::milliseconds(open.deadline_ms);
-  if (has_deadline) c.rc.set_deadline(deadline);
-
-  // §5.7 kill-switch: compression stops, decompression never does.
-  if (is_encode && store_->shutoff_active()) {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.shutoff_refusals;
-      stats_.trailer_codes.add(
-          static_cast<unsigned>(ExitCode::kServerShutdown));
-    }
-    (void)send_trailer(c.fd, ExitCode::kServerShutdown, true, 0, 0);
-    return false;
-  }
-
-  SocketSink sink(c.fd, &c.rc);
-  EncodeOptions eopts = cfg_.encode_opts;
-  eopts.run = &c.rc;
-  DecodeOptions dopts = cfg_.decode_opts;
-  dopts.run = &c.rc;
-  // Exactly one of the two is used; both are cheap to construct.
-  EncodeSession enc(eopts, &ctx_);
-  DecodeSession dec(sink, dopts, &ctx_);
-
-  // ---- body: DATA* then END ----
-  // The whole body phase runs under an absolute wall budget: the request
-  // deadline when one was given, and the idle window either way (a body
-  // that cannot arrive within the idle window is indistinguishable from a
-  // stalled one — and per-read inactivity alone is gameable by dribbling).
-  auto body_deadline = start + cfg_.idle_read_timeout;
-  if (has_deadline && deadline < body_deadline) body_deadline = deadline;
-  std::uint64_t body_bytes = 0;
-  ExitCode code = ExitCode::kSuccess;
-  bool disconnected = false;
-  for (;;) {
-    std::uint8_t hdr_buf[kFrameHeaderSize];
-    ReadStatus rs =
-        read_exact_deadline(c.fd, hdr_buf, kFrameHeaderSize, body_deadline);
-    if (rs == ReadStatus::kTimedOut) {
-      // Deadline passed or the body stalled/dribbled past the idle window.
-      code = ExitCode::kTimeout;
-      break;
-    }
-    if (rs != ReadStatus::kOk) {
-      disconnected = true;
-      break;
-    }
-    FrameHeader fh;
-    if (!parse_frame_header(hdr_buf, &fh)) {
-      bool oversized = static_cast<FrameType>(hdr_buf[0]) == FrameType::kData;
-      // The §6.2 memory-budget refusal: the declaration alone exceeds what
-      // this request may allocate, so no buffer is ever sized for it.
-      code = oversized ? (is_encode ? ExitCode::kMemLimitEncode
-                                    : ExitCode::kMemLimitDecode)
-                       : ExitCode::kImpossible;
-      std::lock_guard<std::mutex> lk(mu_);
-      if (oversized) {
-        ++stats_.oversized_rejects;
-      } else {
-        ++stats_.protocol_errors;
-      }
-      break;
-    }
-    if (fh.type == FrameType::kEnd) {
-      if (fh.length != 0) code = ExitCode::kImpossible;
-      break;
-    }
-    if (fh.type != FrameType::kData) {
-      code = ExitCode::kImpossible;
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.protocol_errors;
-      break;
-    }
-    if (body_bytes + fh.length > cfg_.max_body_bytes) {
-      code = is_encode ? ExitCode::kMemLimitEncode : ExitCode::kMemLimitDecode;
-      std::lock_guard<std::mutex> lk(mu_);
-      ++stats_.oversized_rejects;
-      break;
-    }
-    std::vector<std::uint8_t>& buf = c.body[c.body_ix];
-    c.body_ix ^= 1;
-    buf.resize(fh.length);
-    if (fh.length > 0) {
-      rs = read_exact_deadline(c.fd, buf.data(), fh.length, body_deadline);
-      if (rs == ReadStatus::kTimedOut) {
-        code = ExitCode::kTimeout;
-        break;
-      }
-      if (rs != ReadStatus::kOk) {
-        disconnected = true;
-        break;
-      }
-    }
-    body_bytes += fh.length;
-    code = is_encode ? enc.feed({buf.data(), buf.size()})
-                     : dec.feed({buf.data(), buf.size()});
-    if (code != ExitCode::kSuccess) break;
-  }
-
-  if (disconnected) {
-    // Mid-request hangup: cancel the session so nothing keeps converting
-    // for a dead peer, record it, and close. No trailer — there is no one
-    // left to read it.
-    c.rc.request_cancel();
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.disconnects;
-    stats_.trailer_codes.add(static_cast<unsigned>(ExitCode::kShortRead));
-    return false;
-  }
-
-  // ---- finish + trailer ----
-  if (code == ExitCode::kSuccess) {
-    code = is_encode ? enc.finish(sink) : dec.finish();
-  } else if (!is_encode) {
-    // The feed's sticky classification is the trailer code (probe/parse
-    // rejections, kTimeout); finish() just finalizes the dead session.
-    (void)dec.finish();
-  }
-  if (sink.broken()) {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.disconnects;
-    stats_.trailer_codes.add(static_cast<unsigned>(ExitCode::kShortRead));
-    return false;
-  }
-  if (code == ExitCode::kTimeout && cancel_all_.load(std::memory_order_acquire)) {
-    code = ExitCode::kServerShutdown;  // server-initiated, not the budget
-  }
-
-  // Counters first, trailer second: a client acting on the trailer (tests
-  // included) must never observe stats() that predate its own request.
-  auto now = std::chrono::steady_clock::now();
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.bytes_in += body_bytes;
-    stats_.bytes_out += sink.bytes();
-    stats_.trailer_codes.add(static_cast<unsigned>(code));
-    if (sink.saw_first()) {
-      stats_.ttfb_s.add(
-          std::chrono::duration<double>(sink.first_byte() - start).count());
-    }
-    stats_.request_s.add(std::chrono::duration<double>(now - start).count());
-  }
-  bool sent = send_trailer(c.fd, code, store_->shutoff_active(), body_bytes,
-                           sink.bytes());
-  if (!sent) {
-    std::lock_guard<std::mutex> lk(mu_);
-    ++stats_.disconnects;
-  }
-  // Keep the connection only after a clean success; every error trailer is
-  // followed by a close so a confused client cannot desynchronize framing.
-  return sent && code == ExitCode::kSuccess;
 }
 
 }  // namespace lepton::server

@@ -1,15 +1,16 @@
 // Socket-serving front-end over the streaming sessions (§5, §6.6).
 //
 // The production system runs Lepton as a fleet of daemons behind the
-// blockservers: requests arrive over a local socket as length-prefixed
+// blockservers: requests arrive over a stream socket as length-prefixed
 // frames, every conversion runs under a per-request time box, a saturated
 // server simply stops reading (the kernel's socket buffer is the
 // backpressure signal), and an operator kill-switch stops compression
-// fleet-wide within seconds (§5.7). LeptonServer is that daemon:
+// fleet-wide within seconds (§5.7). LeptonServer is that daemon's
+// thread-per-connection plane:
 //
 //   lepton::TransparentStore store;            // kill-switch authority
 //   lepton::server::ServerConfig cfg;
-//   cfg.socket_path = "/run/lepton.sock";
+//   cfg.socket_path = "/run/lepton.sock";      // or cfg.listen = "tcp:..."
 //   cfg.store = &store;
 //   lepton::server::LeptonServer srv(cfg);     // + optional CodecContext*
 //   srv.start();                               // accept thread spawned
@@ -19,13 +20,15 @@
 // One connection carries any number of sequential requests; each ENCODE or
 // DECODE request drives a fresh EncodeSession/DecodeSession over the shared
 // CodecContext, with the request's deadline armed on the session's
-// RunControl. docs/PROTOCOL.md is the wire contract; docs/OPERATIONS.md is
-// the operator's guide.
+// RunControl. All request semantics live in RequestService (service.h),
+// shared with the daemon's event-driven plane (src/leptond/) — this class
+// only owns accepting and one-thread-per-connection scheduling.
+// docs/PROTOCOL.md is the wire contract; docs/OPERATIONS.md is the
+// operator's guide.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -35,7 +38,8 @@
 
 #include "lepton/codec.h"
 #include "lepton/store.h"
-#include "util/stats.h"
+#include "server/endpoint.h"
+#include "server/service.h"
 
 namespace lepton {
 class CodecContext;
@@ -49,6 +53,12 @@ struct ServerConfig {
   // paper's blockserver-to-daemon hop, and sidestep port allocation in
   // tests/CI; the framing itself is transport-agnostic.
   std::string socket_path;
+
+  // Endpoint string ("unix:/path" or "tcp:host:port", endpoint.h); when
+  // non-empty it takes precedence over socket_path. Both transports run
+  // the identical request path — the transport choice is confined to the
+  // listener.
+  std::string listen;
 
   // Admission bound: at most this many requests hold sessions at once.
   // A connection whose open frame arrives while the server is full is
@@ -81,29 +91,6 @@ struct ServerConfig {
   DecodeOptions decode_opts;
 };
 
-// A point-in-time copy of the server's counters (taken under the stats
-// mutex; cheap enough for tests to poll).
-struct ServerStats {
-  std::uint64_t connections = 0;         // accepted
-  std::uint64_t requests = 0;            // open frames admitted
-  std::uint64_t bytes_in = 0;            // request body bytes consumed
-  std::uint64_t bytes_out = 0;           // response DATA bytes emitted
-  std::uint64_t protocol_errors = 0;     // malformed frames / bad version
-  std::uint64_t oversized_rejects = 0;   // declared length over cap
-  std::uint64_t disconnects = 0;         // connection died mid-request
-  std::uint64_t shutoff_refusals = 0;    // ENCODE refused by kill-switch
-  int in_flight = 0;                     // requests holding slots now
-  int in_flight_peak = 0;
-  // §6.2 classification of every request/connection outcome: the code of
-  // each trailer sent, plus kShortRead for requests whose peer vanished
-  // before a trailer could be delivered (those also count in disconnects).
-  util::CodeTally trailer_codes;
-  // Bounded reservoirs, not exact sample sets: a daemon must not grow
-  // per-request stats (or the stats() snapshot copy) without limit.
-  util::ReservoirPercentiles ttfb_s;     // request admit -> first DATA out
-  util::ReservoirPercentiles request_s;  // request admit -> trailer sent
-};
-
 class LeptonServer {
  public:
   explicit LeptonServer(ServerConfig cfg, CodecContext* ctx = nullptr);
@@ -113,7 +100,8 @@ class LeptonServer {
   LeptonServer& operator=(const LeptonServer&) = delete;
 
   // Binds the socket and spawns the accept thread. False (with errno
-  // intact) when the bind/listen fails; safe to call once per instance.
+  // intact where the failure was a syscall) when the bind/listen fails;
+  // safe to call once per instance.
   bool start();
 
   // Graceful drain: stop accepting, let in-flight requests run to their
@@ -127,43 +115,34 @@ class LeptonServer {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   const std::string& socket_path() const { return cfg_.socket_path; }
+  // The canonical address the listener actually bound — for "tcp:...:0"
+  // it carries the kernel-chosen port. Valid after start().
+  const std::string& bound_address() const { return bound_; }
 
-  ServerStats stats() const;
+  ServerStats stats() const { return service_.stats(); }
 
  private:
-  struct Conn;  // per-connection state (server.cpp)
-
   void accept_loop();
   void serve_connection(int fd);
   // Joins connection threads that have announced completion (a long-lived
   // daemon must not accumulate one joinable thread per connection ever
   // accepted). Called with mu_ held.
   void reap_finished_locked();
-  // One request: open frame already parsed. Returns false when the
-  // connection must close (protocol error, disconnect, error trailer).
-  bool serve_request(Conn& c, std::uint8_t open_type,
-                     const std::uint8_t* open_payload, std::uint32_t open_len);
-  bool acquire_slot(Conn& c);
-  void release_slot();
 
   ServerConfig cfg_;
-  CodecContext& ctx_;
-  // Private kill-switch store when cfg_.store == nullptr.
-  std::unique_ptr<TransparentStore> own_store_;
-  TransparentStore* store_ = nullptr;
+  Endpoint endpoint_;
+  std::string bound_;
+  RequestService service_;
 
   int listen_fd_ = -1;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::atomic<bool> cancel_all_{false};
   std::thread accept_thread_;
 
   mutable std::mutex mu_;
-  std::condition_variable slot_cv_;       // admission + drain waits
   std::vector<std::thread> conn_threads_;
   std::vector<std::thread::id> finished_conn_ids_;  // ready to join
-  std::vector<Conn*> live_conns_;         // for shutdown() on stop
-  ServerStats stats_;
+  std::vector<ServiceConn*> live_conns_;            // for shutdown() on stop
 };
 
 }  // namespace lepton::server

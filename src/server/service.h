@@ -1,0 +1,180 @@
+// Transport-independent request service for the Lepton protocol (§5, §6.6).
+//
+// PR 5's LeptonServer fused two things: a *connection plane* (accept
+// thread, one thread per connection) and the *request semantics* (frame
+// switch, admission bound, deadlines, body wall budget, kill-switch,
+// stats, trailer discipline). The daemon's event-driven plane
+// (leptond/event_server.h) needs the second half verbatim — the PR 5
+// hostile-client suite is the contract — so it lives here, once.
+// RequestService knows nothing about how connections are accepted,
+// scheduled, or torn down; a plane hands it a connection fd plus the
+// request's open frame and gets back "keep this connection or close it".
+//
+// The split is the reason cross-transport byte-identity holds by
+// construction: AF_UNIX thread-per-connection, TCP thread-per-connection
+// and TCP epoll all execute the same serve_frame.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "lepton/codec.h"
+#include "lepton/run_control.h"
+#include "lepton/store.h"
+#include "server/protocol.h"
+#include "util/stats.h"
+
+namespace lepton {
+class CodecContext;
+}
+
+namespace lepton::server {
+
+struct ServiceConfig {
+  // Admission bound: at most this many requests hold sessions at once.
+  // A request that arrives while the service is full is parked (its caller
+  // blocks in serve_frame), never rejected — backpressure by parked reads
+  // (docs/PROTOCOL.md §"Flow control").
+  int max_in_flight = 4;
+
+  // Total request-body cap (sum of DATA payloads).
+  std::uint64_t max_body_bytes = 6u << 20;
+
+  // Idle window between requests, absolute wall budget for one request
+  // body, and the send timeout on responses (server.h documents the
+  // three-in-one-knob rationale).
+  std::chrono::milliseconds idle_read_timeout{30000};
+
+  // Kill-switch authority (§5.7); when null the service owns a private
+  // TransparentStore so the switch still works per-process.
+  TransparentStore* store = nullptr;
+
+  EncodeOptions encode_opts;
+  DecodeOptions decode_opts;
+
+  // Plane-specific rows appended to the STATS response (worker counts,
+  // open-connection counts — facts only the connection plane knows). Must
+  // return "key value\n" lines; called outside the stats mutex.
+  std::function<std::string()> extra_stats;
+};
+
+// A point-in-time copy of the service's counters (taken under the stats
+// mutex; cheap enough for tests to poll).
+struct ServerStats {
+  std::uint64_t connections = 0;         // accepted
+  std::uint64_t requests = 0;            // open frames admitted
+  std::uint64_t bytes_in = 0;            // request body bytes consumed
+  std::uint64_t bytes_out = 0;           // response DATA bytes emitted
+  std::uint64_t protocol_errors = 0;     // malformed frames / bad version
+  std::uint64_t oversized_rejects = 0;   // declared length over cap
+  std::uint64_t disconnects = 0;         // connection died mid-request
+  std::uint64_t shutoff_refusals = 0;    // ENCODE refused by kill-switch
+  std::uint64_t accept_retries = 0;      // accept() backoffs (EMFILE/ENFILE)
+  int in_flight = 0;                     // requests holding slots now
+  int in_flight_peak = 0;
+  // §6.2 classification of every request/connection outcome: the code of
+  // each trailer sent, plus kShortRead for requests whose peer vanished
+  // before a trailer could be delivered (those also count in disconnects).
+  util::CodeTally trailer_codes;
+  // Bounded reservoirs, not exact sample sets: a daemon must not grow
+  // per-request stats (or the stats() snapshot copy) without limit.
+  util::ReservoirPercentiles ttfb_s;     // request admit -> first DATA out
+  util::ReservoirPercentiles request_s;  // request admit -> trailer sent
+};
+
+// Per-connection request state. rc lives here (not in the request scope)
+// so a plane's shutdown_now can trip an in-flight request's control from
+// another thread while the serving thread is inside feed()/finish().
+struct ServiceConn {
+  int fd = -1;
+  RunControl rc;
+  // Alternating body buffers: EncodeSession::feed borrows its first slice
+  // until the *next* feed returns (session.h lifetime contract), so the
+  // frame we just fed must stay intact while the next one is read.
+  std::vector<std::uint8_t> body[2];
+  int body_ix = 0;
+};
+
+class RequestService {
+ public:
+  explicit RequestService(ServiceConfig cfg, CodecContext* ctx = nullptr);
+
+  RequestService(const RequestService&) = delete;
+  RequestService& operator=(const RequestService&) = delete;
+
+  TransparentStore* store() { return store_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+  // Installs the owning plane's STATS rows (set once, before the plane
+  // starts serving — the callback is invoked from request threads).
+  void set_extra_stats(std::function<std::string()> fn) {
+    cfg_.extra_stats = std::move(fn);
+  }
+
+  // ---- lifecycle (driven by the owning plane) ----
+  // Clears drain/cancel state; call when the plane (re)starts.
+  void reset();
+  // Starts the graceful drain: slot waiters wake and are answered
+  // kServerShutdown; no new request is admitted.
+  void begin_drain();
+  // Blocks until no request holds an admission slot.
+  void wait_idle();
+  // Hard-stop posture: in-flight requests that trip their deadline from
+  // here on trail as kServerShutdown (server-initiated), not kTimeout.
+  void cancel_all();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  // ---- the one request path both planes share ----
+  // Serves one request whose 8-byte open-frame header `hdr` the plane has
+  // already read from c.fd. `payload` is the control payload when the
+  // plane pre-read it (event plane buffers header+payload before
+  // dispatching); nullptr means "read it from c.fd" (thread plane, which
+  // leaves the idle recv timeout armed). The request body, when the frame
+  // opens one, is always read from c.fd here, under the PR 5 wall budget.
+  // Returns true iff the connection may carry another request.
+  bool serve_frame(ServiceConn& c, const std::uint8_t hdr[kFrameHeaderSize],
+                   const std::uint8_t* payload);
+
+  // ---- plane-owned events recorded into the shared counters ----
+  void record_connection();
+  // A frame died mid-header (the wire-level short read).
+  void record_short_read();
+  // The plane's accept loop backed off on EMFILE/ENFILE and retried.
+  void record_accept_retry();
+
+  ServerStats stats() const;
+
+  // The STATS response body: "key value" text lines of a stats snapshot
+  // plus the plane's extra_stats rows. Exposed for tests and leptonctl.
+  std::string stats_text();
+
+ private:
+  bool serve_request(ServiceConn& c, std::uint8_t open_type,
+                     const std::uint8_t* open_payload, std::uint32_t open_len);
+  bool serve_stats(int fd);
+  bool acquire_slot();
+  void release_slot();
+
+  ServiceConfig cfg_;
+  CodecContext& ctx_;
+  std::unique_ptr<TransparentStore> own_store_;
+  TransparentStore* store_ = nullptr;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> cancel_all_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;  // admission + drain waits
+  ServerStats stats_;
+};
+
+}  // namespace lepton::server

@@ -1,0 +1,126 @@
+// Blocking-socket I/O helpers shared by the serving stack (internal).
+//
+// Both connection planes and the request service read frames with the same
+// discipline: exact-length reads, EINTR retried, a clean pre-first-byte
+// close distinguished from a mid-frame truncation, and — for request
+// bodies — an *absolute* wall budget re-armed onto SO_RCVTIMEO before
+// every recv, because per-read inactivity timeouts alone are gameable by
+// dribbling one byte per interval (the slow-loris hole PR 5 closed).
+#pragma once
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+
+#include "server/protocol.h"
+#include "util/exit_codes.h"
+
+namespace lepton::server {
+
+inline bool send_all(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+inline timeval to_timeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
+inline void set_recv_timeout(int fd, std::chrono::milliseconds ms) {
+  timeval tv = to_timeval(ms);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+// Response writes must not block forever on a client that stops reading:
+// with a send timeout, a stalled ::sendmsg fails with EAGAIN, the sink
+// marks itself broken, and the request unwinds through the disconnect
+// path — releasing its admission slot instead of wedging stop()/drain.
+// The slow consumer pays with its connection.
+inline void set_send_timeout(int fd, std::chrono::milliseconds ms) {
+  timeval tv = to_timeval(ms);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+inline void set_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+enum class ReadStatus { kOk, kEof, kTruncated, kTimedOut, kError };
+
+// Reads exactly `n` bytes. kEof only when the peer closed cleanly before
+// the first byte; a close partway through is kTruncated (the §6.2 short
+// read, at the frame layer).
+inline ReadStatus read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) return got == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimedOut;
+      return ReadStatus::kError;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return ReadStatus::kOk;
+}
+
+// Deadline-bounded read_exact: re-arms SO_RCVTIMEO with the *remaining*
+// wall budget before every recv. Plain SO_RCVTIMEO alone bounds only
+// inactivity — a hostile client dribbling one byte per interval restarts
+// the idle window forever while holding an admission slot (slow loris);
+// the absolute deadline is what actually bounds the body phase.
+inline ReadStatus read_exact_deadline(
+    int fd, std::uint8_t* out, std::size_t n,
+    std::chrono::steady_clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remain.count() <= 0) return ReadStatus::kTimedOut;
+    set_recv_timeout(fd, remain + std::chrono::milliseconds(1));
+    ssize_t r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) return got == 0 ? ReadStatus::kEof : ReadStatus::kTruncated;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadStatus::kTimedOut;
+      return ReadStatus::kError;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return ReadStatus::kOk;
+}
+
+inline bool send_trailer(int fd, util::ExitCode code, bool shutoff,
+                         std::uint64_t in, std::uint64_t out) {
+  std::uint8_t buf[kFrameHeaderSize + kTrailerPayloadSize];
+  write_frame_header(buf, {FrameType::kTrailer, 0, kTrailerPayloadSize});
+  TrailerPayload t;
+  t.exit_code = static_cast<std::uint8_t>(code);
+  t.shutoff_engaged = shutoff;
+  t.bytes_in = in;
+  t.bytes_out = out;
+  write_trailer_payload(buf + kFrameHeaderSize, t);
+  return send_all(fd, buf, sizeof buf);
+}
+
+}  // namespace lepton::server

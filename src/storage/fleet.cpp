@@ -119,6 +119,23 @@ FleetMetrics simulate_fleet(const FleetConfig& cfg, const WorkloadModel& wl,
   return out;
 }
 
+namespace {
+
+// One PING against an endpoint under the health-check transport cap.
+// Healthy = the probe conversed cleanly; for encode fleets a kill-switched
+// server also fails the probe (it would answer the encode kShutoff anyway).
+bool probe_healthy(const std::string& endpoint, const RequeueConfig& cfg) {
+  auto cli = server::LeptonClient::connect(endpoint);
+  if (!cli.ok()) return false;
+  server::RequestOptions opts;
+  opts.transport_timeout = cfg.health_timeout;
+  server::RequestResult r = cli.ping(opts);
+  if (!r.ok()) return false;
+  return !(cfg.op == FleetOp::kEncode && r.shutoff_engaged);
+}
+
+}  // namespace
+
 RequeueMetrics run_fleet_requeue(
     const RequeueConfig& cfg,
     const std::vector<std::vector<std::uint8_t>>& bodies) {
@@ -127,12 +144,49 @@ RequeueMetrics run_fleet_requeue(
   util::Rng rng(cfg.seed);
   const auto n_servers = static_cast<std::uint64_t>(cfg.endpoints.size());
 
+  // Health-checked routing (leptond fleets): probe once up front, then
+  // route among the healthy. `healthy` always names the current candidate
+  // set; with health_check off it is the full fleet and never shrinks, so
+  // the rng draw sequence — and therefore routing — is byte-identical to
+  // the legacy path.
+  std::vector<std::size_t> healthy(cfg.endpoints.size());
+  for (std::size_t i = 0; i < healthy.size(); ++i) healthy[i] = i;
+  auto demote = [&](std::size_t server_ix) {
+    if (!cfg.health_check) return;
+    for (std::size_t i = 0; i < healthy.size(); ++i) {
+      if (healthy[i] == server_ix) {
+        healthy.erase(healthy.begin() + static_cast<std::ptrdiff_t>(i));
+        ++m.unhealthy_endpoints;
+        break;
+      }
+    }
+    // Fleet-wide outage: fall back to blind routing over the full list.
+    if (healthy.empty()) {
+      healthy.resize(cfg.endpoints.size());
+      for (std::size_t i = 0; i < healthy.size(); ++i) healthy[i] = i;
+    }
+  };
+  if (cfg.health_check) {
+    std::vector<std::size_t> up;
+    for (std::size_t i = 0; i < cfg.endpoints.size(); ++i) {
+      ++m.health_probes;
+      if (probe_healthy(cfg.endpoints[i], cfg)) {
+        up.push_back(i);
+      } else {
+        ++m.unhealthy_endpoints;
+      }
+    }
+    if (!up.empty()) healthy = std::move(up);
+  }
+
   for (const auto& body : bodies) {
     RequestTrace tr;
     tr.bytes_in = body.size();
     ++m.requests;
 
-    auto target = static_cast<std::size_t>(rng.below(n_servers));
+    auto pick = static_cast<std::size_t>(
+        rng.below(static_cast<std::uint64_t>(healthy.size())));
+    auto target = healthy[pick];
     for (int attempt = 0; attempt < cfg.max_attempts; ++attempt) {
       // Fresh connection per attempt: the server closes after every
       // non-success trailer, and a requeue must not depend on the state of
@@ -160,7 +214,12 @@ RequeueMetrics run_fleet_requeue(
         tr.first_code = res.code;
         m.first_attempt_codes.add(static_cast<unsigned>(res.code));
       }
-      if (!res.transport_ok) ++m.transport_failures;
+      if (!res.transport_ok) {
+        ++m.transport_failures;
+        // A dead transport is the strongest health signal there is:
+        // stop routing new work at this endpoint.
+        demote(target);
+      }
 
       // §6.6: server-local conditions — a blown time box, a dead
       // transport, a draining or kill-switched server — earn another
@@ -178,7 +237,19 @@ RequeueMetrics run_fleet_requeue(
       }
       if (!requeue_worthy || attempt + 1 >= cfg.max_attempts) break;
       ++m.requeues;
-      if (n_servers > 1) {
+      if (cfg.health_check) {
+        // The second server must be a different machine (§6.6) — and a
+        // healthy one. Exclude the failed target when any other healthy
+        // endpoint exists; a one-endpoint candidate set retries in place.
+        std::vector<std::size_t> others;
+        for (std::size_t s : healthy) {
+          if (s != target) others.push_back(s);
+        }
+        if (!others.empty()) {
+          target = others[static_cast<std::size_t>(
+              rng.below(static_cast<std::uint64_t>(others.size())))];
+        }
+      } else if (n_servers > 1) {
         // The second server must be a different machine (§6.6).
         auto next = static_cast<std::size_t>(rng.below(n_servers - 1));
         target = next < target ? next : next + 1;

@@ -76,7 +76,9 @@ FleetMetrics simulate_fleet(const FleetConfig& cfg, const WorkloadModel& wl,
 enum class FleetOp { kEncode, kDecode };
 
 struct RequeueConfig {
-  // Unix-socket paths of the serving fleet (one per LeptonServer).
+  // Fleet endpoints, one per serving daemon: "unix:/path", a bare socket
+  // path, or "tcp:host:port" (server/endpoint.h) — a multi-port leptond
+  // fleet is just a vector of tcp: endpoints.
   std::vector<std::string> endpoints;
   FleetOp op = FleetOp::kEncode;
   // Deadline for the first attempt; 0 = none.
@@ -86,6 +88,16 @@ struct RequeueConfig {
   std::chrono::milliseconds retry_deadline{0};
   // First try + requeues. 2 is the paper's timeout -> second-server shape.
   int max_attempts = 2;
+  // Health-checked routing: ping-probe every endpoint up front, route and
+  // requeue among the healthy only, and demote an endpoint the moment an
+  // attempt against it fails at the transport level. For encode ops a
+  // kill-switched server (shutoff engaged in the PING trailer) counts as
+  // unhealthy — it would refuse the encode anyway. When every endpoint is
+  // unhealthy the router falls back to the full list (a blind attempt
+  // beats a guaranteed local failure). Off by default: the legacy path is
+  // byte-identical, probe-free routing.
+  bool health_check = false;
+  std::chrono::milliseconds health_timeout{250};  // per-probe transport cap
   std::uint64_t seed = 66;  // §6.6
 };
 
@@ -109,6 +121,8 @@ struct RequeueMetrics {
   std::uint64_t requeues = 0;            // attempts beyond the first
   std::uint64_t succeeded = 0;
   std::uint64_t transport_failures = 0;  // connect/IO-level attempt failures
+  std::uint64_t health_probes = 0;       // PINGs issued (health_check only)
+  std::uint64_t unhealthy_endpoints = 0; // endpoints demoted by probe/attempt
   util::CodeTally first_attempt_codes;   // §6.2 tally of attempt #1
   util::CodeTally final_codes;           // §6.2 tally after requeueing
   util::Percentiles ttfb_s;
