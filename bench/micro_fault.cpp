@@ -1,0 +1,68 @@
+// Failpoint overhead microbench: the layer's promise is "zero cost when
+// disabled" — every wired site costs one relaxed atomic load and a
+// predictable branch on the hot path. This measures that check against an
+// unguarded loop, and the armed-but-not-firing slow path (registry lock +
+// site lookup) for contrast — the slow path only exists inside chaos runs.
+//
+// Usage: micro_fault [--full]
+#include <atomic>
+
+#include "bench_common.h"
+#include "util/failpoint.h"
+
+namespace {
+
+// The same shape as a wired site's fast path, with the outcome kept live.
+std::uint64_t guarded_loop(std::uint64_t iters) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    if (lepton::util::failpoint::armed()) {
+      acc += lepton::util::failpoint::hit("bench.site").fired() ? 1 : 0;
+    }
+    acc += i;
+  }
+  return acc;
+}
+
+std::uint64_t bare_loop(std::uint64_t iters) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) acc += i;
+  return acc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = bench::want_full(argc, argv);
+  const std::uint64_t iters = full ? 400'000'000ull : 50'000'000ull;
+  bench::header("micro_fault: failpoint check overhead",
+                "robustness layer contract: sites are free until a chaos "
+                "schedule arms them");
+
+  std::atomic<std::uint64_t> sink{0};
+
+  double bare = bench::best_of(5, [&] { sink += bare_loop(iters); });
+  double off = bench::best_of(5, [&] { sink += guarded_loop(iters); });
+
+  std::string err;
+  if (!lepton::util::failpoint::arm("bench.site=delay:0ms@0.0", &err)) {
+    std::fprintf(stderr, "arm: %s\n", err.c_str());
+    return 1;
+  }
+  // Armed, never fires: every iteration takes the registry lock. This is
+  // the price of a *chaos* run, shown for scale — not a production cost.
+  const std::uint64_t armed_iters = iters / 50;
+  double on = bench::best_of(3, [&] { sink += guarded_loop(armed_iters); });
+  lepton::util::failpoint::disarm();
+
+  auto per = [](double s, std::uint64_t n) { return s / n * 1e9; };
+  std::printf("%-34s %10.3f ns/iter\n", "bare loop", per(bare, iters));
+  std::printf("%-34s %10.3f ns/iter\n", "disabled failpoint check",
+              per(off, iters));
+  std::printf("%-34s %10.3f ns/iter (chaos runs only)\n",
+              "armed, non-firing site", per(on, armed_iters));
+  std::printf("\ndisabled-check overhead: %.3f ns/iter (sink %llu)\n",
+              per(off, iters) - per(bare, iters),
+              static_cast<unsigned long long>(sink.load() & 1));
+  return 0;
+}

@@ -1,0 +1,249 @@
+// Chaos soak: the self-healing fleet client under deliberate hostility.
+//
+//   ./chaos_fleet [--seed N] [--seconds N]
+//
+// Three event-plane daemons come up on local TCP ports and a FleetClient
+// (breakers + backoff + background prober + least-in-flight routing) puts
+// a deterministic corpus through them while a chaos thread misbehaves:
+//
+//   * daemons are hard-killed (shutdown_now: in-flight requests trail as
+//     kServerShutdown) and restarted on their original ports;
+//   * a failpoint schedule (util/failpoint.h), seeded from --seed, injects
+//     refused connects, short writes that kill frames mid-flight, and slow
+//     encodes — the per-site fault sequences replay exactly from the seed;
+//   * one RLIMIT_NOFILE squeeze starves both accept4 (the EMFILE backoff
+//     path) and the client's own connects.
+//
+// The soak asserts the paper's §4/§5.7 posture end to end: every put()
+// lands — converted objects pass the round-trip admission gate, everything
+// else degrades to a byte-identical pass-through — and get() returns the
+// original bytes for *all* of them. Any corrupted round trip, unserved
+// put, or unbounded latency exits nonzero.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "lepton/context.h"
+#include "lepton/store.h"
+#include "leptond/event_server.h"
+#include "storage/fleet_client.h"
+#include "util/failpoint.h"
+
+namespace {
+
+using lepton::leptond::EventServer;
+using lepton::leptond::EventServerConfig;
+using lepton::storage::FleetClient;
+using lepton::storage::FleetClientConfig;
+using lepton::storage::FleetOp;
+
+std::unique_ptr<EventServer> start_daemon(const std::string& listen,
+                                          lepton::CodecContext* ctx) {
+  EventServerConfig ec;
+  ec.listen = listen;
+  ec.workers = 2;
+  auto srv = std::make_unique<EventServer>(std::move(ec), ctx);
+  // A just-killed port can linger briefly even with SO_REUSEADDR (the old
+  // acceptor's close races the new bind); retry rather than flake.
+  for (int i = 0; i < 100 && !srv->start(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return srv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  int seconds = 3;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      seconds = std::atoi(argv[i + 1]);
+    }
+  }
+  std::printf("chaos_fleet: seed=%llu seconds=%d\n",
+              static_cast<unsigned long long>(seed), seconds);
+
+  // Deterministic corpus: a few sizes, derived from the seed.
+  std::vector<std::vector<std::uint8_t>> files;
+  for (int i = 0; i < 4; ++i) {
+    files.push_back(
+        lepton::corpus::jpeg_of_size((16 + 8 * i) << 10, seed + i));
+  }
+
+  lepton::CodecContext ctx(4);
+  constexpr int kDaemons = 3;
+  std::mutex fleet_mu;  // guards the daemons[] slots during kill/restart
+  std::vector<std::unique_ptr<EventServer>> daemons;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < kDaemons; ++i) {
+    daemons.push_back(start_daemon("tcp:127.0.0.1:0", &ctx));
+    if (!daemons.back()->running()) {
+      std::fprintf(stderr, "chaos_fleet: daemon %d failed to start: %s\n", i,
+                   daemons.back()->last_error().c_str());
+      return 1;
+    }
+    endpoints.push_back(daemons.back()->bound_address());
+  }
+
+  // The chaos schedule. Every probability draw comes from a per-site PRNG
+  // seeded from `seed`, so the fault sequence each site produces is
+  // identical run to run.
+  std::string spec =
+      "seed=" + std::to_string(seed) +
+      ";fleet.connect=err:ECONNREFUSED@0.03"
+      ";sock.write=short@0.004"
+      ";service.encode=delay:5ms@every17";
+  std::string err;
+  if (!lepton::util::failpoint::arm(spec, &err)) {
+    std::fprintf(stderr, "chaos_fleet: bad schedule: %s\n", err.c_str());
+    return 1;
+  }
+
+  FleetClientConfig cfg;
+  cfg.endpoints = endpoints;
+  cfg.max_attempts = 4;
+  cfg.first_deadline = std::chrono::milliseconds(0);
+  cfg.backoff_base = std::chrono::milliseconds(5);
+  cfg.backoff_cap = std::chrono::milliseconds(100);
+  cfg.breaker_threshold = 3;
+  cfg.breaker_cooldown = std::chrono::milliseconds(150);
+  cfg.background_probe = true;
+  cfg.probe_interval = std::chrono::milliseconds(100);
+  cfg.seed = seed;
+  FleetClient fleet(cfg);
+  fleet.start();
+
+  lepton::TransparentStore store;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+
+  std::atomic<std::uint64_t> puts{0}, passthroughs{0}, corrupted{0};
+  std::atomic<double> worst_s{0};
+  auto traffic = [&](int worker) {
+    for (std::uint64_t n = 0; std::chrono::steady_clock::now() < deadline;
+         ++n) {
+      const auto& jpeg = files[(n + static_cast<std::uint64_t>(worker)) %
+                               files.size()];
+      auto t0 = std::chrono::steady_clock::now();
+      auto pr = fleet.put(store, {jpeg.data(), jpeg.size()});
+      double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      double w = worst_s.load();
+      while (s > w && !worst_s.compare_exchange_weak(w, s)) {
+      }
+      ++puts;
+      if (pr.passthrough) ++passthroughs;
+      lepton::Result back = store.get(pr.object);
+      if (back.code != lepton::util::ExitCode::kSuccess ||
+          back.data.size() != jpeg.size() ||
+          !std::equal(back.data.begin(), back.data.end(), jpeg.begin())) {
+        ++corrupted;
+      }
+    }
+  };
+  std::thread t1(traffic, 0), t2(traffic, 1);
+
+  // The chaos plane: kill/restart daemons round-robin; squeeze the fd
+  // table once, mid-soak.
+  std::thread chaos([&] {
+    bool squeezed = false;
+    for (int round = 0; std::chrono::steady_clock::now() < deadline;
+         ++round) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      if (std::chrono::steady_clock::now() >= deadline) break;
+      int victim = round % kDaemons;
+      {
+        std::lock_guard<std::mutex> lk(fleet_mu);
+        daemons[victim]->shutdown_now();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      {
+        std::lock_guard<std::mutex> lk(fleet_mu);
+        daemons[victim] = start_daemon(endpoints[victim], &ctx);
+      }
+      if (!squeezed && round == 1) {
+        squeezed = true;
+        rlimit old{};
+        ::getrlimit(RLIMIT_NOFILE, &old);
+        rlimit tight = old;
+        tight.rlim_cur = 48;  // below what serving traffic needs
+        ::setrlimit(RLIMIT_NOFILE, &tight);
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        ::setrlimit(RLIMIT_NOFILE, &old);
+      }
+    }
+  });
+
+  t1.join();
+  t2.join();
+  chaos.join();
+  lepton::util::failpoint::disarm();
+  fleet.stop();
+
+  auto m = fleet.metrics();
+  auto health = fleet.endpoints();
+  std::printf("\n%-28s %-9s %8s %8s\n", "ENDPOINT", "BREAKER", "OK", "FAIL");
+  for (const auto& h : health) {
+    std::printf("%-28s %-9s %8llu %8llu\n", h.endpoint.c_str(),
+                lepton::storage::breaker_state_name(h.state),
+                static_cast<unsigned long long>(h.successes),
+                static_cast<unsigned long long>(h.failures));
+  }
+  std::printf(
+      "\nputs %llu  passthrough %llu  corrupted %llu  worst_put %.2fs\n"
+      "requeues %llu  transport_failures %llu  backoff_retries %llu "
+      "(%.3fs slept)\n"
+      "breaker opens %llu closes %llu half-open probes %llu fast-fails %llu\n"
+      "health probes %llu\n",
+      static_cast<unsigned long long>(puts.load()),
+      static_cast<unsigned long long>(passthroughs.load()),
+      static_cast<unsigned long long>(corrupted.load()), worst_s.load(),
+      static_cast<unsigned long long>(m.requeues),
+      static_cast<unsigned long long>(m.transport_failures),
+      static_cast<unsigned long long>(m.backoff_retries), m.backoff_wait_s,
+      static_cast<unsigned long long>(m.breaker_opens),
+      static_cast<unsigned long long>(m.breaker_closes),
+      static_cast<unsigned long long>(m.half_open_probes),
+      static_cast<unsigned long long>(m.breaker_fast_fails),
+      static_cast<unsigned long long>(m.health_probes));
+
+  // The soak's contract.
+  int rc = 0;
+  if (corrupted.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu corrupted round trips\n",
+                 static_cast<unsigned long long>(corrupted.load()));
+    rc = 1;
+  }
+  if (puts.load() == 0) {
+    std::fprintf(stderr, "FAIL: no put() completed\n");
+    rc = 1;
+  }
+  if (m.passthrough_fallbacks != passthroughs.load()) {
+    std::fprintf(stderr, "FAIL: passthrough tallies disagree (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(m.passthrough_fallbacks),
+                 static_cast<unsigned long long>(passthroughs.load()));
+    rc = 1;
+  }
+  if (worst_s.load() > 30.0) {
+    std::fprintf(stderr, "FAIL: unbounded tail (worst put %.2fs)\n",
+                 worst_s.load());
+    rc = 1;
+  }
+  std::printf("%s\n", rc == 0 ? "chaos_fleet: OK — every byte came back"
+                              : "chaos_fleet: FAILED");
+  return rc;
+}

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "jpeg/stuffed_bitio.h"
+#include "util/failpoint.h"
 
 namespace lepton::jpegfmt {
 namespace {
@@ -60,8 +61,11 @@ ScanDecodeResult decode_scan(const JpegFile& jf) {
                     comp.height_blocks;
   }
   // Encode-side memory budget (§6.2 ">178 MiB mem encode"): the encoder
-  // must hold the whole coefficient image (§4.2).
-  if (total_blocks * 128 > 178ull << 20) {
+  // must hold the whole coefficient image (§4.2). Failpoint
+  // "codec.mem_gate" trips the refusal on schedule for chaos runs.
+  if (total_blocks * 128 > 178ull << 20 ||
+      (util::failpoint::armed() &&
+       util::failpoint::hit("codec.mem_gate").fired())) {
     fail(ExitCode::kMemLimitEncode, "coefficient image exceeds encode budget");
   }
 

@@ -14,6 +14,7 @@
 #include "lepton/plan.h"
 #include "lepton/session.h"
 #include "model/block_codec.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 #include "util/tracked_memory.h"
 
@@ -236,8 +237,15 @@ jpegfmt::JpegFile validate_container_decode(const ContainerHeader& h) {
     lane_units += seg.lane_lens.empty() ? 1 : seg.lane_lens.size();
   }
   if (lane_units == 0) lane_units = 1;
-  if (decode_working_set(hdr, lane_units) >
-      (24ull << 20) * (nseg < 16 ? (nseg == 0 ? 1 : nseg) : 16)) {
+  // Failpoint "codec.mem_gate": a fired schedule shrinks the budget to
+  // zero — every allocation-gated decode then classifies kMemLimitDecode,
+  // exercising the §6.2 refusal without a hostile container.
+  const bool gate_tripped =
+      util::failpoint::armed() &&
+      util::failpoint::hit("codec.mem_gate").fired();
+  if (gate_tripped ||
+      decode_working_set(hdr, lane_units) >
+          (24ull << 20) * (nseg < 16 ? (nseg == 0 ? 1 : nseg) : 16)) {
     throw jpegfmt::ParseError(ExitCode::kMemLimitDecode,
                               "decode working set exceeds budget");
   }

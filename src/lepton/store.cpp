@@ -98,6 +98,56 @@ StoredObject TransparentStore::put(std::span<const std::uint8_t> file,
   return obj;
 }
 
+StoredObject TransparentStore::put_passthrough(
+    std::span<const std::uint8_t> file, PutStats* stats) const {
+  StoredObject obj;
+  obj.kind = StorageKind::kPassthrough;
+  obj.payload.assign(file.begin(), file.end());
+  obj.md5_hex = util::Md5::hex_digest({obj.payload.data(),
+                                       obj.payload.size()});
+  if (stats != nullptr) {
+    PutStats local;
+    local.bytes_in = file.size();
+    local.bytes_out = obj.payload.size();
+    local.roundtrip_ok = true;  // trivially: the payload *is* the original
+    *stats = local;
+  }
+  return obj;
+}
+
+bool TransparentStore::admit_converted(std::span<const std::uint8_t> original,
+                                       std::vector<std::uint8_t> container,
+                                       StoredObject* out,
+                                       PutStats* stats) const {
+  PutStats local;
+  local.bytes_in = original.size();
+  // md5 before the round-trip test, same §5.7 ordering as put(): corruption
+  // between this check and the write is what get() then catches.
+  std::string md5 = util::Md5::hex_digest({container.data(),
+                                           container.size()});
+  VectorSink rt_sink;
+  DecodeStats rt_stats;
+  util::ExitCode rt_code =
+      decode_lepton({container.data(), container.size()}, rt_sink, {},
+                    default_context(), &rt_stats);
+  local.lepton_code = rt_code;
+  local.roundtrip_ok =
+      rt_code == util::ExitCode::kSuccess && rt_stats.payload_exhausted &&
+      rt_sink.data.size() == original.size() &&
+      std::equal(rt_sink.data.begin(), rt_sink.data.end(), original.begin());
+  if (!local.roundtrip_ok) {
+    local.lepton_code = util::ExitCode::kRoundtripFailed;
+    if (stats != nullptr) *stats = local;
+    return false;
+  }
+  out->kind = StorageKind::kLepton;
+  out->payload = std::move(container);
+  out->md5_hex = std::move(md5);
+  local.bytes_out = out->payload.size();
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
 Result TransparentStore::get(const StoredObject& obj,
                              DecodeStats* decode_stats) const {
   Result r;
@@ -123,6 +173,12 @@ Result TransparentStore::get(const StoredObject& obj,
       return r;
     }
     if (r.code == util::ExitCode::kSuccess) r.data = std::move(sink.data);
+    return r;
+  }
+  if (obj.kind == StorageKind::kPassthrough) {
+    // The md5 check above is the whole integrity story: the payload is the
+    // original file.
+    r.data = obj.payload;
     return r;
   }
   if (!util::zlib_decompress({obj.payload.data(), obj.payload.size()},

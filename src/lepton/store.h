@@ -25,7 +25,16 @@
 
 namespace lepton {
 
-enum class StorageKind : std::uint8_t { kLepton = 1, kDeflate = 2 };
+enum class StorageKind : std::uint8_t {
+  kLepton = 1,
+  kDeflate = 2,
+  // Degraded-mode admission (§4, §6): the original bytes, untransformed.
+  // Chosen when conversion is unavailable *and* spending local CPU on
+  // Deflate is not wanted either — the fleet client's fallback when its
+  // breaker set is exhausted or a remote encode fails. Durability first;
+  // the compression win is an optimization, never a gate.
+  kPassthrough = 3,
+};
 
 struct StoredObject {
   StorageKind kind = StorageKind::kDeflate;
@@ -53,6 +62,22 @@ class TransparentStore {
   // store holds no per-call state beyond the shutoff cache below).
   StoredObject put(std::span<const std::uint8_t> file,
                    PutStats* stats = nullptr) const;
+
+  // Pass-through admission: stores `file` unmodified (md5-sealed like every
+  // object). The fleet client degrades to this when no server can convert —
+  // the paper's never-lose-a-byte posture with zero local conversion cost.
+  StoredObject put_passthrough(std::span<const std::uint8_t> file,
+                               PutStats* stats = nullptr) const;
+
+  // Admits a container produced *elsewhere* (a fleet conversion) under the
+  // same §5.7 gate as put(): md5 the container first, then require a local
+  // round-trip decode byte-identical to `original` with the payload exactly
+  // consumed. True = *out is the admitted Lepton object; false = the
+  // container failed the gate (corrupt or mismatched) and nothing was
+  // admitted — the caller falls back, it never stores the container.
+  bool admit_converted(std::span<const std::uint8_t> original,
+                       std::vector<std::uint8_t> container, StoredObject* out,
+                       PutStats* stats = nullptr) const;
 
   // Retrieves the original bytes. Returns a classified error if the
   // payload is corrupt: md5 mismatch, failed decode, or a "successful"

@@ -1,7 +1,11 @@
 #include "leptond/config.h"
 
+#include <cerrno>
+#include <csignal>
 #include <fstream>
 #include <sstream>
+
+#include <unistd.h>
 
 namespace lepton::leptond {
 namespace {
@@ -197,6 +201,38 @@ bool parse_args(const std::vector<std::string>& args, DaemonConfig* cfg,
     if (o.key == "config") continue;
     if (!apply_option(cfg, o.key, o.value, err)) return false;
   }
+  return true;
+}
+
+PidfileState inspect_pidfile(const std::string& path, long* owner_pid) {
+  std::ifstream f(path);
+  if (!f) return PidfileState::kAbsent;
+  long pid = 0;
+  if (!(f >> pid) || pid <= 0) return PidfileState::kStale;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM) {
+    // Signal 0 probes existence without delivering anything; EPERM means
+    // the pid exists but belongs to someone else — still alive.
+    if (owner_pid != nullptr) *owner_pid = pid;
+    return PidfileState::kOwnerAlive;
+  }
+  return PidfileState::kStale;  // ESRCH: the owner died without cleanup
+}
+
+bool acquire_pidfile(const std::string& path, std::string* err) {
+  long owner = 0;
+  if (inspect_pidfile(path, &owner) == PidfileState::kOwnerAlive) {
+    if (err != nullptr) {
+      *err = "pidfile '" + path + "' is held by live pid " +
+             std::to_string(owner);
+    }
+    return false;
+  }
+  std::ofstream pf(path, std::ios::trunc);
+  if (!pf) {
+    if (err != nullptr) *err = "cannot write pidfile '" + path + "'";
+    return false;
+  }
+  pf << ::getpid() << "\n";
   return true;
 }
 

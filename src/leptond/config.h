@@ -43,4 +43,26 @@ bool parse_args(const std::vector<std::string>& args, DaemonConfig* cfg,
 // The --help text (shared with error messages).
 std::string usage_text();
 
+// ---- pidfile liveness ------------------------------------------------------
+//
+// A daemon that died uncleanly (SIGKILL, OOM, power) leaves its pidfile
+// behind; the replacement must not be locked out by a ghost. The rule:
+// refuse only when the recorded owner is *alive* (kill(pid, 0) reaches a
+// process — EPERM counts as alive), replace otherwise.
+
+enum class PidfileState {
+  kAbsent,       // no file — free to take
+  kStale,        // unreadable/garbage pid, or the owner is gone (ESRCH)
+  kOwnerAlive,   // a live process holds it — refuse to start
+};
+
+// Classifies `path` without modifying it. On kOwnerAlive, *owner_pid (when
+// non-null) receives the recorded pid.
+PidfileState inspect_pidfile(const std::string& path, long* owner_pid);
+
+// Takes the pidfile for the calling process: absent or stale files are
+// (re)written with getpid(); a live owner refuses with *err naming the pid.
+// False is also returned when the file cannot be written.
+bool acquire_pidfile(const std::string& path, std::string* err);
+
 }  // namespace lepton::leptond

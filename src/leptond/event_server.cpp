@@ -194,8 +194,22 @@ void EventServer::loop_main() {
 
 bool EventServer::accept_ready() {
   for (;;) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                       SOCK_CLOEXEC | SOCK_NONBLOCK);
+    int fd = -1;
+    bool injected = false;
+    // Failpoint "accept": inject descriptor exhaustion so the deregister/
+    // backoff/re-register dance below runs without a full fd table.
+    if (util::failpoint::armed()) {
+      util::failpoint::Outcome o = util::failpoint::hit("accept");
+      if (o.fired() &&
+          o.action != util::failpoint::Action::kDelay) {
+        injected = true;
+        errno = o.action == util::failpoint::Action::kErr ? o.err : EMFILE;
+      }
+    }
+    if (!injected) {
+      fd = ::accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_CLOEXEC | SOCK_NONBLOCK);
+    }
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR || errno == ECONNABORTED) continue;

@@ -30,6 +30,7 @@ using lepton::server::RequestResult;
 int usage() {
   std::fputs(
       "usage: leptonctl ENDPOINT COMMAND [args]\n"
+      "       leptonctl health ENDPOINT [ENDPOINT...]\n"
       "  ENDPOINT               tcp:host:port | unix:/path\n"
       "commands:\n"
       "  ping                   liveness probe (prints shutoff state)\n"
@@ -40,7 +41,10 @@ int usage() {
       "  encode IN.jpg OUT.lep  compress a JPEG through the server\n"
       "  decode IN.lep OUT.jpg  decompress a container through the server\n"
       "  selftest               encode+decode a generated JPEG over the\n"
-      "                         wire; verify byte-identity vs in-process\n",
+      "                         wire; verify byte-identity vs in-process\n"
+      "  health (fleet form)    ping + STATS every listed endpoint; print a\n"
+      "                         healthy/degraded/dead table; exit 1 if any\n"
+      "                         endpoint is dead\n",
       stderr);
   return 2;
 }
@@ -134,6 +138,67 @@ int cmd_selftest(const std::string& endpoint) {
   return 0;
 }
 
+// Pulls one "key value" row out of STATS text; empty when absent.
+std::string stats_value(const std::vector<std::uint8_t>& text,
+                        const std::string& key) {
+  std::istringstream in(std::string(text.begin(), text.end()));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.size() > key.size() + 1 && line.compare(0, key.size(), key) == 0 &&
+        line[key.size()] == ' ') {
+      return line.substr(key.size() + 1);
+    }
+  }
+  return "";
+}
+
+// Fleet health sweep: `leptonctl health EP [EP...]`. Three verdicts —
+//   healthy   ping answers, kill-switch clear, STATS served
+//   degraded  alive on the wire but impaired (shutoff engaged, or a
+//             pre-STATS server that cannot report depth)
+//   dead      connect or ping failed at the transport level
+// Exit 0 when nothing is dead; 1 otherwise (degraded is a warning, not a
+// page — the fleet client still routes around it via the breaker).
+int cmd_health(const std::vector<std::string>& endpoints) {
+  std::printf("%-28s %-9s %9s %10s  %s\n", "ENDPOINT", "STATE", "PING_MS",
+              "IN_FLIGHT", "DETAIL");
+  int dead = 0;
+  for (const std::string& ep : endpoints) {
+    lepton::server::RequestOptions opts;
+    opts.transport_timeout = std::chrono::milliseconds(2000);
+    LeptonClient cli = LeptonClient::connect(ep);
+    RequestResult ping;
+    if (cli.ok()) ping = cli.ping(opts);
+    if (!cli.ok() || !ping.transport_ok) {
+      std::printf("%-28s %-9s %9s %10s  %s\n", ep.c_str(), "dead", "-", "-",
+                  (!cli.ok() ? cli.message() : ping.message).c_str());
+      ++dead;
+      continue;
+    }
+    RequestResult stats = cli.stats();
+    std::string in_flight =
+        stats.ok() ? stats_value(stats.data, "in_flight") : "";
+    const char* state = "healthy";
+    std::string detail = "shutoff clear";
+    if (ping.shutoff_engaged) {
+      state = "degraded";
+      detail = "kill-switch engaged";
+    } else if (!stats.ok()) {
+      state = "degraded";
+      detail = "no STATS (pre-STATS server?)";
+    }
+    std::printf("%-28s %-9s %9.2f %10s  %s\n", ep.c_str(), state,
+                ping.total_s * 1000.0,
+                in_flight.empty() ? "-" : in_flight.c_str(), detail.c_str());
+  }
+  if (dead > 0) {
+    std::fprintf(stderr, "leptonctl: %d of %zu endpoints dead\n", dead,
+                 endpoints.size());
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_shutoff(LeptonClient& cli, lepton::server::ShutoffOp op,
                 const char* what) {
   RequestResult r = cli.shutoff(op);
@@ -145,6 +210,10 @@ int cmd_shutoff(LeptonClient& cli, lepton::server::ShutoffOp op,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "health") {
+    if (argc < 3) return usage();
+    return cmd_health(std::vector<std::string>(argv + 2, argv + argc));
+  }
   if (argc < 3) return usage();
   std::string endpoint = argv[1];
   std::string cmd = argv[2];

@@ -14,7 +14,6 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "leptond/config.h"
 #include "leptond/event_server.h"
 #include "server/server.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -74,6 +74,25 @@ int main(int argc, char** argv) {
   if (show_help) {
     std::fputs(lepton::leptond::usage_text().c_str(), stdout);
     return 0;
+  }
+
+  // Chaos harness hook: LEPTON_FAILPOINTS arms the fault-injection schedule
+  // (util/failpoint.h grammar). A malformed spec is a hard error — a soak
+  // that silently ran fault-free proves nothing.
+  if (!lepton::util::failpoint::arm_from_env(&err)) {
+    std::fprintf(stderr, "leptond: LEPTON_FAILPOINTS: %s\n", err.c_str());
+    return 2;
+  }
+  if (lepton::util::failpoint::armed()) {
+    log_line(cfg, "failpoints armed from LEPTON_FAILPOINTS");
+  }
+
+  // Take the pidfile before binding: a live owner means a daemon is already
+  // serving this role — refuse. A dead owner's leftover file is replaced.
+  if (!cfg.pidfile.empty() &&
+      !lepton::leptond::acquire_pidfile(cfg.pidfile, &err)) {
+    std::fprintf(stderr, "leptond: %s\n", err.c_str());
+    return 1;
   }
 
   // Block the supervision signals before *any* thread exists — the codec
@@ -132,13 +151,10 @@ int main(int argc, char** argv) {
                                      : std::string(std::strerror(errno));
     std::fprintf(stderr, "leptond: cannot listen on %s: %s\n",
                  cfg.listen.c_str(), detail.c_str());
+    if (!cfg.pidfile.empty()) ::unlink(cfg.pidfile.c_str());
     return 1;
   }
 
-  if (!cfg.pidfile.empty()) {
-    std::ofstream pf(cfg.pidfile, std::ios::trunc);
-    pf << ::getpid() << "\n";
-  }
   log_line(cfg, "listening on " + plane.bound() + " (plane=" + cfg.plane +
                     " workers=" + std::to_string(cfg.workers) +
                     " pid=" + std::to_string(::getpid()) + ")");

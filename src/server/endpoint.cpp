@@ -11,6 +11,9 @@
 
 #include <cerrno>
 #include <cstring>
+#include <thread>
+
+#include "util/failpoint.h"
 
 namespace lepton::server {
 namespace {
@@ -201,6 +204,19 @@ int listen_endpoint(const Endpoint& ep, std::string* err, std::string* bound,
 }
 
 int connect_endpoint(const Endpoint& ep, std::string* err) {
+  // Failpoint "fleet.connect": a refused/unreachable endpoint without
+  // needing a dead machine — the breaker and requeue paths train on this.
+  if (util::failpoint::armed()) {
+    using util::failpoint::Action;
+    util::failpoint::Outcome o = util::failpoint::hit("fleet.connect");
+    if (o.action == Action::kDelay) {
+      std::this_thread::sleep_for(o.delay);
+    } else if (o.fired()) {
+      errno = o.action == Action::kErr ? o.err : ECONNREFUSED;
+      if (err != nullptr) *err = errno_message("connect (failpoint)");
+      return -1;
+    }
+  }
   if (ep.kind == Endpoint::Kind::kUnix) {
     int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {

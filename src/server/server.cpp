@@ -62,7 +62,21 @@ bool LeptonServer::start() {
 void LeptonServer::accept_loop() {
   auto backoff = std::chrono::milliseconds(10);
   for (;;) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    int fd = -1;
+    bool injected = false;
+    // Failpoint "accept": descriptor exhaustion on demand — the EMFILE
+    // backoff below is recovery code that otherwise needs a full fd table
+    // to run.
+    if (util::failpoint::armed()) {
+      util::failpoint::Outcome o = util::failpoint::hit("accept");
+      if (o.action == util::failpoint::Action::kDelay) {
+        std::this_thread::sleep_for(o.delay);
+      } else if (o.fired()) {
+        injected = true;
+        errno = o.action == util::failpoint::Action::kErr ? o.err : EMFILE;
+      }
+    }
+    if (!injected) fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||

@@ -53,6 +53,14 @@ class SocketSink : public ByteSink {
  private:
   bool writev_all(iovec iov[2]) {
     std::size_t total = iov[0].iov_len + iov[1].iov_len;
+    // Failpoint "sock.write", same semantics as send_all's: a short
+    // outcome delivers a prefix of this DATA frame and then breaks the
+    // sink — the client sees a response die mid-frame.
+    bool fail_after = false;
+    if (util::failpoint::armed()) {
+      total = failpoint_write(total, &fail_after);
+      if (total == 0 && fail_after) return false;
+    }
     std::size_t sent = 0;
     while (sent < total) {
       iovec cur[2];
@@ -78,7 +86,7 @@ class SocketSink : public ByteSink {
       }
       sent += static_cast<std::size_t>(w);
     }
-    return true;
+    return !fail_after;
   }
 
   int fd_;
@@ -214,6 +222,13 @@ std::string RequestService::stats_text() {
     t += std::to_string(n);
     t += '\n';
   }
+  // Additive keys (PROTOCOL.md §"STATS"): per-site failpoint counters,
+  // present only while a chaos schedule is armed.
+  if (util::failpoint::armed()) {
+    append_kv(t, "failpoints_armed",
+              static_cast<std::uint64_t>(util::failpoint::report().size()));
+    t += util::failpoint::stats_text();
+  }
   if (cfg_.extra_stats) t += cfg_.extra_stats();
   return t;
 }
@@ -348,6 +363,27 @@ bool RequestService::serve_request(ServiceConn& c, std::uint8_t open_type,
   const bool has_deadline = open.deadline_ms > 0;
   const auto deadline = start + std::chrono::milliseconds(open.deadline_ms);
   if (has_deadline) c.rc.set_deadline(deadline);
+
+  // Failpoint "service.encode"/"service.decode": `delay` burns wall budget
+  // inside the admission slot (a slow conversion, without needing one);
+  // any failing action is an internal server failure — error trailer,
+  // close, exactly the §6.6 signal that sends the caller to another box.
+  if (util::failpoint::armed()) {
+    util::failpoint::Outcome o = util::failpoint::hit(
+        is_encode ? "service.encode" : "service.decode");
+    if (o.action == util::failpoint::Action::kDelay) {
+      std::this_thread::sleep_for(o.delay);
+    } else if (o.fired()) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.trailer_codes.add(
+            static_cast<unsigned>(ExitCode::kImpossible));
+      }
+      (void)send_trailer(c.fd, ExitCode::kImpossible,
+                         store_->shutoff_active(), 0, 0);
+      return false;
+    }
+  }
 
   // §5.7 kill-switch: compression stops, decompression never does.
   if (is_encode && store_->shutoff_active()) {

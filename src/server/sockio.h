@@ -16,13 +16,48 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <thread>
 
 #include "server/protocol.h"
 #include "util/exit_codes.h"
+#include "util/failpoint.h"
 
 namespace lepton::server {
 
+// Failpoint "sock.write": evaluated per send_all/writev_all call when a
+// schedule is armed. `err` fails the write outright; `short` delivers a
+// PRNG-sized prefix first — the peer sees a frame die partway, the §6.2
+// short write; `delay` stalls the writer, then proceeds.
+//
+// Returns the number of bytes the caller may still send (n = proceed
+// normally), with *fail_now set when the write must then report failure.
+inline std::size_t failpoint_write(std::size_t n, bool* fail_now) {
+  using util::failpoint::Action;
+  util::failpoint::Outcome o = util::failpoint::hit("sock.write");
+  switch (o.action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(o.delay);
+      return n;
+    case Action::kErr:
+    case Action::kFail:
+      errno = o.err;
+      *fail_now = true;
+      return 0;
+    case Action::kShort:
+      errno = ECONNRESET;
+      *fail_now = true;
+      return n == 0 ? 0 : o.draw % n;
+    case Action::kNone:
+      return n;
+  }
+  return n;
+}
+
 inline bool send_all(int fd, const void* data, std::size_t n) {
+  bool fail_after = false;
+  if (util::failpoint::armed()) {
+    n = failpoint_write(n, &fail_after);
+  }
   const auto* p = static_cast<const std::uint8_t*>(data);
   while (n > 0) {
     ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
@@ -33,7 +68,7 @@ inline bool send_all(int fd, const void* data, std::size_t n) {
     p += w;
     n -= static_cast<std::size_t>(w);
   }
-  return true;
+  return !fail_after;
 }
 
 inline timeval to_timeval(std::chrono::milliseconds ms) {
@@ -66,10 +101,38 @@ inline void set_nonblocking(int fd, bool on) {
 
 enum class ReadStatus { kOk, kEof, kTruncated, kTimedOut, kError };
 
+// Failpoint "sock.read": `err` reports a transport error without reading,
+// `short` reports a mid-frame truncation, `delay` stalls the reader then
+// proceeds. Returns true when the read should proceed normally.
+inline bool failpoint_read(ReadStatus* rs) {
+  using util::failpoint::Action;
+  util::failpoint::Outcome o = util::failpoint::hit("sock.read");
+  switch (o.action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(o.delay);
+      return true;
+    case Action::kErr:
+    case Action::kFail:
+      errno = o.err;
+      *rs = ReadStatus::kError;
+      return false;
+    case Action::kShort:
+      *rs = ReadStatus::kTruncated;
+      return false;
+    case Action::kNone:
+      return true;
+  }
+  return true;
+}
+
 // Reads exactly `n` bytes. kEof only when the peer closed cleanly before
 // the first byte; a close partway through is kTruncated (the §6.2 short
 // read, at the frame layer).
 inline ReadStatus read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  if (util::failpoint::armed()) {
+    ReadStatus rs;
+    if (!failpoint_read(&rs)) return rs;
+  }
   std::size_t got = 0;
   while (got < n) {
     ssize_t r = ::recv(fd, out + got, n - got, 0);
@@ -92,6 +155,10 @@ inline ReadStatus read_exact(int fd, std::uint8_t* out, std::size_t n) {
 inline ReadStatus read_exact_deadline(
     int fd, std::uint8_t* out, std::size_t n,
     std::chrono::steady_clock::time_point deadline) {
+  if (util::failpoint::armed()) {
+    ReadStatus rs;
+    if (!failpoint_read(&rs)) return rs;
+  }
   std::size_t got = 0;
   while (got < n) {
     auto remain = std::chrono::duration_cast<std::chrono::milliseconds>(

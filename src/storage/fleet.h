@@ -123,6 +123,15 @@ struct RequeueMetrics {
   std::uint64_t transport_failures = 0;  // connect/IO-level attempt failures
   std::uint64_t health_probes = 0;       // PINGs issued (health_check only)
   std::uint64_t unhealthy_endpoints = 0; // endpoints demoted by probe/attempt
+  // Self-healing client counters (FleetClient below; always zero under
+  // run_fleet_requeue, which predates breakers).
+  std::uint64_t breaker_opens = 0;       // closed/half-open -> open
+  std::uint64_t breaker_closes = 0;      // half-open probe succeeded
+  std::uint64_t half_open_probes = 0;    // requests routed as breaker probes
+  std::uint64_t breaker_fast_fails = 0;  // refused: every breaker open
+  std::uint64_t backoff_retries = 0;     // retries that slept a backoff
+  double backoff_wait_s = 0;             // total backoff sleep
+  std::uint64_t passthrough_fallbacks = 0;  // puts degraded to pass-through
   util::CodeTally first_attempt_codes;   // §6.2 tally of attempt #1
   util::CodeTally final_codes;           // §6.2 tally after requeueing
   util::Percentiles ttfb_s;

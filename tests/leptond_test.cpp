@@ -14,6 +14,7 @@
 #include <netinet/in.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -238,6 +239,57 @@ TEST(DaemonConfig, FlagsAndConfigFileCompose) {
   cfg = {};
   EXPECT_FALSE(ld::parse_config_text("listen\n", &cfg, &err));
   EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+}
+
+// Regression: a daemon killed uncleanly (SIGKILL/OOM) leaves its pidfile
+// behind; the replacement must reclaim it. Refusal is reserved for a file
+// whose recorded owner is actually alive.
+TEST(DaemonConfig, StalePidfileIsReclaimedLiveOwnerRefuses) {
+  namespace ld = lepton::leptond;
+  std::string path = ::testing::TempDir() + "leptond_pid_test_" +
+                     std::to_string(::getpid());
+  ::unlink(path.c_str());
+  std::string err;
+
+  // Absent: free to take; the file then records this process.
+  EXPECT_EQ(ld::inspect_pidfile(path, nullptr), ld::PidfileState::kAbsent);
+  ASSERT_TRUE(ld::acquire_pidfile(path, &err)) << err;
+  {
+    std::ifstream f(path);
+    long pid = 0;
+    ASSERT_TRUE(static_cast<bool>(f >> pid));
+    EXPECT_EQ(pid, static_cast<long>(::getpid()));
+  }
+
+  // Our own pid is a live owner: a second daemon must refuse, naming it.
+  long owner = 0;
+  EXPECT_EQ(ld::inspect_pidfile(path, &owner),
+            ld::PidfileState::kOwnerAlive);
+  EXPECT_EQ(owner, static_cast<long>(::getpid()));
+  EXPECT_FALSE(ld::acquire_pidfile(path, &err));
+  EXPECT_NE(err.find(std::to_string(::getpid())), std::string::npos) << err;
+
+  // A dead owner's leftover file is stale: forked child, exited and reaped.
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int st = 0;
+  ASSERT_EQ(::waitpid(child, &st, 0), child);
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << child << "\n";
+  }
+  EXPECT_EQ(ld::inspect_pidfile(path, nullptr), ld::PidfileState::kStale);
+  ASSERT_TRUE(ld::acquire_pidfile(path, &err)) << err;
+
+  // Garbage contents are stale too — never a lockout.
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << "not-a-pid\n";
+  }
+  EXPECT_EQ(ld::inspect_pidfile(path, nullptr), ld::PidfileState::kStale);
+  ASSERT_TRUE(ld::acquire_pidfile(path, &err)) << err;
+  ::unlink(path.c_str());
 }
 
 // ---- cross-transport byte identity ------------------------------------------
