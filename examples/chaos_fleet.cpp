@@ -19,7 +19,16 @@
 // else degrades to a byte-identical pass-through — and get() returns the
 // original bytes for *all* of them. Any corrupted round trip, unserved
 // put, or unbounded latency exits nonzero.
+//
+// Phase 0, before the soak: the durable-store drill. A forked child runs
+// its own daemons + FleetClient and commits every put into a
+// storage::DurableStore, logging an ack line per acknowledged commit; the
+// parent SIGKILLs the whole child — daemons, client, and the storing
+// process die together mid-traffic — then fscks the store and proves zero
+// acknowledged loss and byte-identical reads for every acked key.
+#include <signal.h>
 #include <sys/resource.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -32,12 +41,17 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+
 #include "corpus/corpus.h"
 #include "lepton/context.h"
 #include "lepton/store.h"
 #include "leptond/event_server.h"
+#include "storage/durable_store.h"
 #include "storage/fleet_client.h"
 #include "util/failpoint.h"
+#include "util/fileio.h"
+#include "util/md5.h"
 
 namespace {
 
@@ -61,6 +75,143 @@ std::unique_ptr<EventServer> start_daemon(const std::string& listen,
   return srv;
 }
 
+// ---- phase 0: the durable-store drill ---------------------------------------
+
+// Child side: daemons + fleet client + durable store, putting flat out
+// until SIGKILLed. One fsynced ack line per acknowledged durable commit.
+[[noreturn]] void durable_child(
+    std::uint64_t seed, const std::vector<std::vector<std::uint8_t>>& files,
+    const std::string& root, const std::string& acklog) {
+  lepton::CodecContext ctx(2);
+  std::vector<std::unique_ptr<EventServer>> daemons;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    daemons.push_back(start_daemon("tcp:127.0.0.1:0", &ctx));
+    if (!daemons.back()->running()) ::_exit(42);
+    endpoints.push_back(daemons.back()->bound_address());
+  }
+  FleetClientConfig fc;
+  fc.endpoints = endpoints;
+  fc.max_attempts = 3;
+  fc.breaker_cooldown = std::chrono::milliseconds(100);
+  fc.seed = seed;
+  FleetClient fleet(fc);
+  fleet.start();
+
+  lepton::storage::DurableStoreConfig dc;
+  dc.root = root;
+  std::string err;
+  auto store = lepton::storage::DurableStore::open(std::move(dc), &err);
+  if (store == nullptr) ::_exit(42);
+  int ack_fd = ::open(acklog.c_str(),
+                      O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (ack_fd < 0) ::_exit(42);
+
+  // A mini chaos plane of our own: one daemon dies mid-traffic, so some
+  // commits land as fleet conversions and some as degraded pass-throughs —
+  // both must be equally durable.
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    daemons[0]->shutdown_now();
+  });
+  killer.detach();
+
+  lepton::TransparentStore codec;
+  for (std::uint64_t j = 0; j < 2000; ++j) {
+    const auto& jpeg = files[j % files.size()];
+    auto pr = fleet.put(codec, {jpeg.data(), jpeg.size()});
+    std::string key = "df-" + std::to_string(j);
+    auto ps = store->put_object(key, pr.object);
+    if (!ps.acknowledged) continue;  // no disk faults armed here; defensive
+    std::string line = "ok " + key + "\n";
+    if (::write(ack_fd, line.data(), line.size()) !=
+        static_cast<ssize_t>(line.size())) {
+      ::_exit(42);
+    }
+    ::fsync(ack_fd);
+  }
+  ::_exit(0);
+}
+
+// Parent side. Returns 0 when the invariant held.
+int durable_phase(std::uint64_t seed,
+                  const std::vector<std::vector<std::uint8_t>>& files) {
+  std::string base =
+      "/tmp/chaos_fleet_durable_" + std::to_string(::getpid());
+  std::string root = base + "/store", acklog = base + "/acklog";
+  lepton::util::fileio::make_dirs(base);
+
+  pid_t pid = ::fork();
+  if (pid == 0) durable_child(seed, files, root, acklog);
+  if (pid < 0) {
+    std::perror("chaos_fleet: fork");
+    return 1;
+  }
+  // Long enough that daemons are up and commits are flowing, and the
+  // child's own daemon-kill has fired; then everything dies at once.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (!(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) &&
+      !(WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+    std::fprintf(stderr, "chaos_fleet: durable child died abnormally (%d)\n",
+                 status);
+    return 1;
+  }
+
+  // Operator verdict first: fsck must find zero acknowledged loss.
+  std::string err;
+  auto fsck = lepton::storage::DurableStore::fsck(root, &err);
+  if (!err.empty() || !fsck.ok()) {
+    std::fprintf(stderr, "chaos_fleet: durable fsck FAILED (lost=%llu) %s\n",
+                 static_cast<unsigned long long>(fsck.lost), err.c_str());
+    return 1;
+  }
+
+  // Every acked key reads back byte-identical to its original.
+  lepton::storage::DurableStoreConfig dc;
+  dc.root = root;
+  auto store = lepton::storage::DurableStore::open(std::move(dc), &err);
+  if (store == nullptr) {
+    std::fprintf(stderr, "chaos_fleet: durable reopen failed: %s\n",
+                 err.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> raw;
+  lepton::util::fileio::read_file(acklog, &raw);
+  std::string text(raw.begin(), raw.end());
+  std::uint64_t acked = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: never acked
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.rfind("ok df-", 0) != 0) continue;
+    std::uint64_t j = std::strtoull(line.c_str() + 6, nullptr, 10);
+    const auto& jpeg = files[j % files.size()];
+    lepton::Result r;
+    if (!store->get("df-" + std::to_string(j), &r) || !r.ok() ||
+        r.data != jpeg) {
+      std::fprintf(stderr,
+                   "chaos_fleet: durable FAIL: acked df-%llu not byte-"
+                   "identical after kill-9\n",
+                   static_cast<unsigned long long>(j));
+      return 1;
+    }
+    ++acked;
+  }
+  std::printf(
+      "chaos_fleet: durable phase OK — child SIGKILLed mid-traffic, fsck "
+      "clean (%llu objects, %llu quarantined), %llu acked commits verified "
+      "byte-identical\n\n",
+      static_cast<unsigned long long>(fsck.healthy),
+      static_cast<unsigned long long>(fsck.quarantined),
+      static_cast<unsigned long long>(acked));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +232,13 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 4; ++i) {
     files.push_back(
         lepton::corpus::jpeg_of_size((16 + 8 * i) << 10, seed + i));
+  }
+
+  // Phase 0 forks, so it must run while this process is still
+  // single-threaded — before the CodecContext pool below exists.
+  if (int rc = durable_phase(seed, files); rc != 0) {
+    std::fprintf(stderr, "chaos_fleet: FAILED (durable phase)\n");
+    return rc;
   }
 
   lepton::CodecContext ctx(4);

@@ -19,6 +19,7 @@
 #include <limits>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lepton/codec.h"
@@ -35,6 +36,29 @@ enum class StorageKind : std::uint8_t {
   // the compression win is an optimization, never a gate.
   kPassthrough = 3,
 };
+
+// Stable names for StorageKind — the durable store's journal records the
+// kind by name (storage/durable_store.h), so the mapping is part of the
+// on-disk format: never rename, only append.
+constexpr std::string_view storage_kind_name(StorageKind k) {
+  switch (k) {
+    case StorageKind::kLepton: return "lepton";
+    case StorageKind::kDeflate: return "deflate";
+    case StorageKind::kPassthrough: return "passthrough";
+  }
+  return "?";
+}
+
+inline bool parse_storage_kind(std::string_view s, StorageKind* out) {
+  for (StorageKind k : {StorageKind::kLepton, StorageKind::kDeflate,
+                        StorageKind::kPassthrough}) {
+    if (s == storage_kind_name(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
 
 struct StoredObject {
   StorageKind kind = StorageKind::kDeflate;

@@ -7,6 +7,8 @@
 
 #include <unistd.h>
 
+#include "util/fileio.h"
+
 namespace lepton::leptond {
 namespace {
 
@@ -227,12 +229,20 @@ bool acquire_pidfile(const std::string& path, std::string* err) {
     }
     return false;
   }
-  std::ofstream pf(path, std::ios::trunc);
-  if (!pf) {
-    if (err != nullptr) *err = "cannot write pidfile '" + path + "'";
+  // Crash-atomic: temp + rename, so a daemon killed mid-write can never
+  // leave a truncated pidfile that a later inspect_pidfile() would read as
+  // a garbage pid (or, worse, somebody else's).
+  std::string body = std::to_string(::getpid()) + "\n";
+  util::fileio::IoStatus st = util::fileio::write_file_atomic(
+      path, {reinterpret_cast<const std::uint8_t*>(body.data()), body.size()},
+      /*do_fsync=*/false);
+  if (!st.ok()) {
+    if (err != nullptr) {
+      *err = "cannot write pidfile '" + path + "': " + std::string(st.op) +
+             " failed";
+    }
     return false;
   }
-  pf << ::getpid() << "\n";
   return true;
 }
 

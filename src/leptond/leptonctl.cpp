@@ -20,6 +20,7 @@
 #include "corpus/corpus.h"
 #include "lepton/codec.h"
 #include "server/client.h"
+#include "storage/durable_store.h"
 #include "util/exit_codes.h"
 
 namespace {
@@ -31,6 +32,7 @@ int usage() {
   std::fputs(
       "usage: leptonctl ENDPOINT COMMAND [args]\n"
       "       leptonctl health ENDPOINT [ENDPOINT...]\n"
+      "       leptonctl fsck DIR\n"
       "  ENDPOINT               tcp:host:port | unix:/path\n"
       "commands:\n"
       "  ping                   liveness probe (prints shutoff state)\n"
@@ -44,7 +46,11 @@ int usage() {
       "                         wire; verify byte-identity vs in-process\n"
       "  health (fleet form)    ping + STATS every listed endpoint; print a\n"
       "                         healthy/degraded/dead table; exit 1 if any\n"
-      "                         endpoint is dead\n",
+      "                         endpoint is dead\n"
+      "  fsck DIR (offline)     check a durable-store directory: recovery\n"
+      "                         pass + full md5 verify; quarantines torn/\n"
+      "                         orphaned/corrupt files; exit 1 when any\n"
+      "                         acknowledged key is lost\n",
       stderr);
   return 2;
 }
@@ -199,6 +205,39 @@ int cmd_health(const std::vector<std::string>& endpoints) {
   return 0;
 }
 
+// Offline store check: runs DurableStore's recovery pass (temps and
+// orphans swept to quarantine, every referenced object md5-verified) and
+// reports. Loss — an acknowledged key whose bytes are gone or corrupt —
+// is the only nonzero-exit condition; quarantined garbage is routine
+// after a crash and exits 0.
+int cmd_fsck(const std::string& dir) {
+  std::string err;
+  lepton::storage::FsckReport rep = lepton::storage::DurableStore::fsck(
+      dir, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "leptonctl: fsck %s: %s\n", dir.c_str(), err.c_str());
+    return 1;
+  }
+  std::printf("fsck %s\n", dir.c_str());
+  std::printf("  healthy objects   %llu (%llu keys)\n",
+              static_cast<unsigned long long>(rep.healthy),
+              static_cast<unsigned long long>(rep.keys));
+  std::printf("  quarantined       %llu (of which orphaned %llu)\n",
+              static_cast<unsigned long long>(rep.quarantined),
+              static_cast<unsigned long long>(rep.orphaned));
+  std::printf("  lost              %llu\n",
+              static_cast<unsigned long long>(rep.lost));
+  if (!rep.ok()) {
+    std::fprintf(stderr,
+                 "leptonctl: fsck FAILED: %llu acknowledged key(s) "
+                 "unreadable — data loss\n",
+                 static_cast<unsigned long long>(rep.lost));
+    return 1;
+  }
+  std::printf("fsck OK: no acknowledged data lost\n");
+  return 0;
+}
+
 int cmd_shutoff(LeptonClient& cli, lepton::server::ShutoffOp op,
                 const char* what) {
   RequestResult r = cli.shutoff(op);
@@ -213,6 +252,10 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "health") {
     if (argc < 3) return usage();
     return cmd_health(std::vector<std::string>(argv + 2, argv + argc));
+  }
+  if (argc >= 2 && std::string(argv[1]) == "fsck") {
+    if (argc != 3) return usage();
+    return cmd_fsck(argv[2]);
   }
   if (argc < 3) return usage();
   std::string endpoint = argv[1];

@@ -27,6 +27,12 @@ enum class ExitCode : std::uint8_t {
   kOomKill,             // host OOM-killed the conversion (simulator)
   kOperatorInterrupt,   // human interrupted the run (simulator)
   kShortRead,           // input stream ended before the data it promised
+  // Durable-store outcomes (appended — wire values above are frozen, the
+  // trailer carries this enum as a u8). A failed durable commit is a
+  // first-class put classification, not an "Impossible" invariant breach:
+  // the operator actions differ (free space / replace disk vs page oncall).
+  kDiskFull,            // durable commit failed: ENOSPC/EDQUOT
+  kIoError,             // durable commit or stored-object read failed: EIO-class
   kCount
 };
 
@@ -49,6 +55,8 @@ constexpr std::string_view exit_code_name(ExitCode c) {
     case ExitCode::kOomKill: return "OOM kill";
     case ExitCode::kOperatorInterrupt: return "Operator interrupt";
     case ExitCode::kShortRead: return "Short read";
+    case ExitCode::kDiskFull: return "Disk full";
+    case ExitCode::kIoError: return "Disk I/O error";
     case ExitCode::kCount: break;
   }
   return "?";

@@ -40,7 +40,10 @@
 // Wired sites (grep for the names): sock.read / sock.write (sockio.h and
 // the service's response sink), fleet.connect (endpoint.cpp), accept (both
 // connection planes), service.encode / service.decode (the request path),
-// codec.mem_gate (the §6.2 decode/encode memory budgets).
+// codec.mem_gate (the §6.2 decode/encode memory budgets), and the durable
+// store's commit path via util/fileio.h — fs.open / fs.write / fs.fsync /
+// fs.rename / fs.unlink (fs.write=short really leaves a torn prefix on
+// disk before failing, the way a crash mid-write or a dying disk would).
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,103 @@
+// Failpoint-routed file I/O (the disk-plane analogue of server/sockio.h).
+//
+// Every syscall on the durable-store commit path — open, write, fsync,
+// rename, unlink — goes through this shim, each wired with a failpoint
+// site so chaos runs can make the disk misbehave on a deterministic,
+// replayable schedule (util/failpoint.h):
+//
+//   fs.open     err[:ERRNO]          the create fails (EMFILE, EACCES, ...)
+//   fs.write    err[:ENOSPC|EIO]     the write fails without writing
+//               short                a PRNG-sized TRUE PREFIX is written to
+//                                    the file first, then the call fails —
+//                                    the on-disk result is a genuinely torn
+//                                    file, exactly what a crash or a dying
+//                                    disk leaves behind
+//   fs.fsync    err[:EIO] | delay    the barrier fails / stalls (a stall
+//                                    widens the window a kill-9 can land in)
+//   fs.rename   err[:ERRNO]          the atomic publish fails
+//   fs.unlink   err[:ERRNO]          cleanup fails — litter stays for the
+//                                    startup sweep to find
+//
+// All sites also accept delay:Nms. The shim is for the *commit* path;
+// recovery, quarantine and scrub I/O deliberately bypass it (raw syscalls)
+// so a chaos schedule aimed at puts cannot corrupt the repair machinery —
+// see storage/durable_store.h.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/exit_codes.h"
+
+namespace lepton::util::fileio {
+
+// Outcome of one routed operation: errno + which op it was. err == 0 is
+// success; injected failures carry the schedule's errno and read exactly
+// like real ones — callers cannot (and must not) tell them apart.
+struct IoStatus {
+  int err = 0;
+  const char* op = "";
+  bool ok() const { return err == 0; }
+};
+
+// §6.2 classification of a failed durable commit: ENOSPC/EDQUOT are the
+// operator-actionable "disk full" row, everything else is an I/O error.
+// Distinct from kImpossible by design — a full disk is not an invariant
+// violation, it is a first-class put outcome (ISSUE 9 satellite).
+inline ExitCode classify_io_errno(int err) {
+  return (err == ENOSPC || err == EDQUOT) ? ExitCode::kDiskFull
+                                          : ExitCode::kIoError;
+}
+
+// O_WRONLY|O_CREAT|O_EXCL: commit temp files must never silently reuse a
+// predecessor's bytes. Site: fs.open.
+IoStatus create_excl(const std::string& path, int* fd_out);
+
+// Writes all of `data`, EINTR-retried. Site: fs.write — `short` writes a
+// true prefix before failing, so the torn bytes are really on disk.
+IoStatus write_all(int fd, std::span<const std::uint8_t> data);
+
+// Site: fs.fsync.
+IoStatus sync_fd(int fd);
+
+// fsyncs the *directory*, making a completed rename durable (a renamed
+// file whose directory was never synced can vanish on power loss).
+// Site: fs.fsync (the open of the directory itself is not routed).
+IoStatus sync_dir(const std::string& dir);
+
+// Site: fs.rename.
+IoStatus rename_path(const std::string& from, const std::string& to);
+
+// Site: fs.unlink.
+IoStatus unlink_path(const std::string& path);
+
+// The crash-atomic publish pattern in one call: write `path + ".tmp.<pid>"`
+// → fsync file → rename over `path` → fsync directory. Any failure unlinks
+// the temp (best effort) and leaves whatever was at `path` untouched — a
+// crash mid-call can leave a stale temp, never a torn `path`. With
+// `do_fsync` false the two barriers are skipped (callers that only need
+// atomicity-vs-crash-of-themselves, not power loss).
+IoStatus write_file_atomic(const std::string& path,
+                           std::span<const std::uint8_t> data, bool do_fsync);
+
+// ---- unrouted helpers (recovery/scrub side) ---------------------------------
+
+// Whole-file read; false on any error. Deliberately not failpoint-routed:
+// the repair machinery must work while a chaos schedule is armed.
+bool read_file(const std::string& path, std::vector<std::uint8_t>* out);
+
+// mkdir -p. False only when a component exists as a non-directory or
+// creation fails outright.
+bool make_dirs(const std::string& path);
+
+// Non-recursive listing of regular-file names in `dir` (no dot entries);
+// empty when the directory cannot be read.
+std::vector<std::string> list_files(const std::string& dir);
+
+// Subdirectory names in `dir`.
+std::vector<std::string> list_dirs(const std::string& dir);
+
+}  // namespace lepton::util::fileio

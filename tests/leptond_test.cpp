@@ -37,6 +37,7 @@
 #include "server/protocol.h"
 #include "server/server.h"
 #include "storage/fleet.h"
+#include "util/failpoint.h"
 
 namespace {
 
@@ -289,6 +290,59 @@ TEST(DaemonConfig, StalePidfileIsReclaimedLiveOwnerRefuses) {
   }
   EXPECT_EQ(ld::inspect_pidfile(path, nullptr), ld::PidfileState::kStale);
   ASSERT_TRUE(ld::acquire_pidfile(path, &err)) << err;
+  ::unlink(path.c_str());
+}
+
+// Regression for the crash-atomic pidfile write (temp + rename via
+// util/fileio): a write that dies partway — injected torn fs.write — must
+// fail the acquire AND leave the existing pidfile byte-intact. The old
+// ofstream-truncate path failed this: the truncate happened before the
+// torn write, so a crash left a garbage (or empty) pidfile that a later
+// inspect_pidfile() read as stale-or-worse.
+TEST(DaemonConfig, PidfileWriteIsCrashAtomicUnderTornWrite) {
+  namespace ld = lepton::leptond;
+  namespace fp = lepton::util::failpoint;
+  std::string path = ::testing::TempDir() + "leptond_pid_atomic_" +
+                     std::to_string(::getpid());
+  ::unlink(path.c_str());
+  std::string err;
+
+  // Seed the file with a dead owner so there is prior content to protect.
+  pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int st = 0;
+  ASSERT_EQ(::waitpid(child, &st, 0), child);
+  std::string prior = std::to_string(child) + "\n";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << prior;
+  }
+
+  ASSERT_TRUE(fp::arm("seed=3;fs.write=short@once", &err)) << err;
+  EXPECT_FALSE(ld::acquire_pidfile(path, &err));
+  fp::disarm();
+
+  // The stale file is untouched — not truncated, not half-overwritten.
+  {
+    std::ifstream f(path);
+    std::string contents((std::istreambuf_iterator<char>(f)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_EQ(contents, prior);
+  }
+  // And no temp litter next to it.
+  EXPECT_NE(::access((path + ".tmp." + std::to_string(::getpid())).c_str(),
+                     F_OK),
+            0);
+
+  // With the fault cleared the same acquire succeeds atomically.
+  ASSERT_TRUE(ld::acquire_pidfile(path, &err)) << err;
+  {
+    std::ifstream f(path);
+    long pid = 0;
+    ASSERT_TRUE(static_cast<bool>(f >> pid));
+    EXPECT_EQ(pid, static_cast<long>(::getpid()));
+  }
   ::unlink(path.c_str());
 }
 

@@ -228,3 +228,407 @@ TEST(Thp, DisablingThpFixesTailNotMedian) {
   EXPECT_GT(p99_on, p99_off * 3) << "Figure 12: the p99 collapse";
   EXPECT_NEAR(p50_on, p50_off, 0.01) << "median barely moves (§6.3)";
 }
+
+// ---------------------------------------------------------------------------
+// DurableStore: the crash-safe persistence layer (storage/durable_store.h).
+//
+// The recovery matrix drives every failpoint site on the commit path in
+// turn, fails or "crashes" there (abandoning the handle without cleanup,
+// exactly what kill-9 leaves behind), reopens, and asserts the durability
+// invariant: acknowledged => readable byte-identical; unacknowledged =>
+// absent, quarantined, or fully intact — never half-served.
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "corpus/corpus.h"
+#include "storage/durable_store.h"
+#include "util/failpoint.h"
+#include "util/fileio.h"
+#include "util/md5.h"
+
+namespace {
+
+using lepton::util::ExitCode;
+
+struct FailpointGuard {
+  ~FailpointGuard() { lepton::util::failpoint::disarm(); }
+  bool arm(const std::string& spec) {
+    std::string err;
+    bool ok = lepton::util::failpoint::arm(spec, &err);
+    EXPECT_TRUE(ok) << err;
+    return ok;
+  }
+};
+
+std::string fresh_root(const char* tag) {
+  static int n = 0;
+  std::string root = std::string(::testing::TempDir()) + "durable_" + tag +
+                     "_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(n++);
+  return root;
+}
+
+std::vector<std::uint8_t> test_jpeg(std::uint64_t seed) {
+  return lepton::corpus::jpeg_of_size(20 << 10, seed);
+}
+
+std::unique_ptr<ls::DurableStore> open_store(const std::string& root) {
+  ls::DurableStoreConfig cfg;
+  cfg.root = root;
+  std::string err;
+  std::unique_ptr<ls::DurableStore> s =
+      ls::DurableStore::open(std::move(cfg), &err);
+  EXPECT_NE(s, nullptr) << err;
+  return s;
+}
+
+TEST(DurableStore, PutGetRoundTripAndPersistsAcrossReopen) {
+  std::string root = fresh_root("roundtrip");
+  std::vector<std::uint8_t> jpeg = test_jpeg(1);
+  {
+    auto s = open_store(root);
+    ls::DurablePutStats ps = s->put("photos/a.jpg", {jpeg.data(), jpeg.size()});
+    ASSERT_TRUE(ps.acknowledged);
+    EXPECT_EQ(ps.code, ExitCode::kSuccess);
+    lepton::Result r;
+    ASSERT_TRUE(s->get("photos/a.jpg", &r));
+    ASSERT_TRUE(r.ok()) << r.message;
+    EXPECT_EQ(r.data, jpeg);
+    EXPECT_FALSE(s->get("photos/unknown.jpg", &r));
+  }
+  auto s = open_store(root);
+  EXPECT_EQ(s->stats().recovery.keys_live, 1u);
+  EXPECT_EQ(s->stats().recovery.keys_lost, 0u);
+  lepton::Result r;
+  ASSERT_TRUE(s->get("photos/a.jpg", &r));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, jpeg);
+}
+
+TEST(DurableStore, DedupsIdenticalContentAcrossKeys) {
+  auto s = open_store(fresh_root("dedup"));
+  std::vector<std::uint8_t> jpeg = test_jpeg(2);
+  ASSERT_TRUE(s->put("a", {jpeg.data(), jpeg.size()}).acknowledged);
+  ls::DurablePutStats second = s->put("b", {jpeg.data(), jpeg.size()});
+  ASSERT_TRUE(second.acknowledged);
+  EXPECT_TRUE(second.deduplicated);
+  EXPECT_EQ(s->stats().puts_deduplicated, 1u);
+  lepton::Result ra, rb;
+  ASSERT_TRUE(s->get("a", &ra));
+  ASSERT_TRUE(s->get("b", &rb));
+  EXPECT_EQ(ra.data, jpeg);
+  EXPECT_EQ(rb.data, jpeg);
+}
+
+TEST(DurableStore, KeysWithSpacesAndControlBytesSurviveTheJournal) {
+  std::string root = fresh_root("escape");
+  std::string key = "dir with spaces/a%b\tc";
+  std::vector<std::uint8_t> jpeg = test_jpeg(3);
+  {
+    auto s = open_store(root);
+    ASSERT_TRUE(s->put(key, {jpeg.data(), jpeg.size()}).acknowledged);
+  }
+  auto s = open_store(root);
+  lepton::Result r;
+  ASSERT_TRUE(s->get(key, &r));
+  EXPECT_EQ(r.data, jpeg);
+}
+
+// The recovery matrix proper. For each site: arm a once-firing failure,
+// put (must fail with a first-class disk code, never kImpossible), then
+// reopen and check nothing is half-served and prior data is untouched.
+TEST(DurableStore, RecoveryMatrixFailedCommitNeverHalfServes) {
+  struct Case {
+    const char* spec;
+    bool torn;  // expect bytes on disk that recovery must quarantine
+  };
+  const Case kCases[] = {
+      {"fs.open=err:EIO@once", false},
+      {"fs.write=err:ENOSPC@once", false},
+      // Torn write + failing unlink: the partial temp stays on disk and
+      // recovery must quarantine it with a reason, not delete or serve it.
+      {"seed=9;fs.write=short@once;fs.unlink=err:EIO", true},
+      {"fs.fsync=err:EIO@once", false},
+      {"fs.rename=err:ENOSPC@once", false},
+  };
+  int idx = 0;
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.spec);
+    std::string root = fresh_root(("matrix" + std::to_string(idx)).c_str());
+    std::vector<std::uint8_t> prior = test_jpeg(10);
+    std::vector<std::uint8_t> doomed = test_jpeg(11 + idx);  // unique content
+    ++idx;
+    {
+      auto s = open_store(root);
+      ASSERT_TRUE(s->put("prior", {prior.data(), prior.size()}).acknowledged);
+      FailpointGuard fp;
+      ASSERT_TRUE(fp.arm(c.spec));
+      ls::DurablePutStats ps = s->put("doomed", {doomed.data(), doomed.size()});
+      EXPECT_FALSE(ps.acknowledged);
+      EXPECT_TRUE(ps.code == ExitCode::kDiskFull || ps.code == ExitCode::kIoError)
+          << "failed commit classified " << static_cast<int>(ps.code);
+      ls::DurableStoreStats st = s->stats();
+      EXPECT_EQ(st.puts_failed_disk_full + st.puts_failed_io_error, 1u);
+      // Unacknowledged and the handle stays usable: the key must not be
+      // served, and prior data still reads back.
+      lepton::Result r;
+      EXPECT_FALSE(s->get("doomed", &r));
+      ASSERT_TRUE(s->get("prior", &r));
+      EXPECT_EQ(r.data, prior);
+    }
+    // Reopen: prior survives; "doomed" is absent or quarantined, never
+    // half-served; no acknowledged key was lost.
+    auto s = open_store(root);
+    ls::RecoveryReport rep = s->stats().recovery;
+    EXPECT_EQ(rep.keys_lost, 0u);
+    lepton::Result r;
+    ASSERT_TRUE(s->get("prior", &r));
+    EXPECT_EQ(r.data, prior);
+    EXPECT_FALSE(s->get("doomed", &r));
+    if (c.torn) {
+      EXPECT_GE(rep.temps_quarantined, 1u) << "torn temp not quarantined";
+      std::ifstream reasons(root + "/quarantine/reasons.log");
+      std::string text((std::istreambuf_iterator<char>(reasons)),
+                       std::istreambuf_iterator<char>());
+      EXPECT_NE(text.find("torn/partial commit"), std::string::npos) << text;
+    }
+  }
+}
+
+// Crash between rename and journal append: simulated by killing the append
+// (err) so the object file is published but never journaled. Recovery must
+// quarantine it as an orphan — bytes moved, not deleted.
+TEST(DurableStore, OrphanedObjectIsQuarantinedNotDeleted) {
+  std::string root = fresh_root("orphan");
+  std::vector<std::uint8_t> doomed = test_jpeg(20);
+  std::string payload_md5;
+  {
+    auto s = open_store(root);
+    FailpointGuard fp;
+    // Object commit path untouched; only the journal append (the write
+    // AFTER rename) fails.
+    ASSERT_TRUE(fp.arm("fs.write=err:EIO@every2"));
+    ls::DurablePutStats ps = s->put("doomed", {doomed.data(), doomed.size()});
+    EXPECT_FALSE(ps.acknowledged);
+    EXPECT_EQ(ps.code, ExitCode::kIoError);
+    payload_md5 = ps.md5_hex;  // the object's content address
+  }
+  auto s = open_store(root);
+  ls::RecoveryReport rep = s->stats().recovery;
+  EXPECT_EQ(rep.orphans_quarantined, 1u);
+  EXPECT_EQ(rep.keys_lost, 0u);
+  EXPECT_EQ(rep.keys_live, 0u);
+  // The bytes are in quarantine, not gone.
+  bool found = false;
+  for (const std::string& f :
+       lepton::util::fileio::list_files(root + "/quarantine")) {
+    if (f.rfind(payload_md5, 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found) << "orphaned payload bytes not preserved in quarantine";
+}
+
+// A torn journal tail (kill-9 mid-append) drops only the torn record:
+// earlier records still parse, the torn record's object becomes a
+// quarantined orphan, nothing is half-served.
+TEST(DurableStore, TornJournalTailDropsOnlyTheTornRecord) {
+  std::string root = fresh_root("torntail");
+  std::vector<std::uint8_t> kept = test_jpeg(21), torn = test_jpeg(30);
+  {
+    auto s = open_store(root);
+    ASSERT_TRUE(s->put("kept", {kept.data(), kept.size()}).acknowledged);
+    ASSERT_TRUE(s->put("torn", {torn.data(), torn.size()}).acknowledged);
+  }
+  {
+    // Tear the journal the way a crash mid-append would: cut into the last
+    // record ("torn" sorts after "kept" in the compacted journal).
+    std::string jpath = root + "/journal";
+    std::vector<std::uint8_t> j;
+    ASSERT_TRUE(lepton::util::fileio::read_file(jpath, &j));
+    ASSERT_GT(j.size(), 10u);
+    std::ofstream out(jpath, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(j.data()),
+              static_cast<std::streamsize>(j.size() - 10));
+  }
+  auto s = open_store(root);
+  ls::RecoveryReport rep = s->stats().recovery;
+  EXPECT_EQ(rep.journal_torn_tail, 1u);
+  EXPECT_EQ(rep.keys_live, 1u);
+  EXPECT_EQ(rep.orphans_quarantined, 1u);
+  EXPECT_EQ(rep.keys_lost, 0u);
+  lepton::Result r;
+  ASSERT_TRUE(s->get("kept", &r));
+  EXPECT_EQ(r.data, kept);
+  EXPECT_FALSE(s->get("torn", &r));
+}
+
+// Satellite 2's no-litter rule: a failed put must not leave temp files in
+// the fanout (the startup sweep is the backstop when unlink itself dies).
+TEST(DurableStore, FailedPutLeavesNoTempLitter) {
+  std::string root = fresh_root("litter");
+  auto s = open_store(root);
+  std::vector<std::uint8_t> jpeg = test_jpeg(22);
+  FailpointGuard fp;
+  ASSERT_TRUE(fp.arm("fs.rename=err:ENOSPC@once"));
+  ls::DurablePutStats ps = s->put("doomed", {jpeg.data(), jpeg.size()});
+  EXPECT_FALSE(ps.acknowledged);
+  EXPECT_EQ(ps.code, ExitCode::kDiskFull);
+  EXPECT_EQ(s->stats().puts_failed_disk_full, 1u);
+  for (const std::string& fan :
+       lepton::util::fileio::list_dirs(root + "/objects")) {
+    for (const std::string& f :
+         lepton::util::fileio::list_files(root + "/objects/" + fan)) {
+      EXPECT_TRUE(f.rfind(".tmp.", 0) != 0) << "temp litter: " << f;
+    }
+  }
+}
+
+// Scrubber detection: flip one bit in a stored payload — the scrub pass
+// must find it, quarantine the object, and stop serving the key.
+TEST(DurableStore, ScrubberDetectsPayloadBitFlip) {
+  std::string root = fresh_root("scrubflip");
+  std::vector<std::uint8_t> jpeg = test_jpeg(23);
+  auto s = open_store(root);
+  ls::DurablePutStats ps = s->put("victim", {jpeg.data(), jpeg.size()});
+  ASSERT_TRUE(ps.acknowledged);
+  {
+    std::string path = root + "/objects/" + ps.md5_hex.substr(0, 2) + "/" +
+                       ps.md5_hex;
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(lepton::util::fileio::read_file(path, &bytes));
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  s->scrub_pass_now();
+  ls::DurableStoreStats st = s->stats();
+  EXPECT_EQ(st.scrub_corrupt_found, 1u);
+  EXPECT_GE(st.scrub_objects_checked, 1u);
+  lepton::Result r;
+  EXPECT_FALSE(s->get("victim", &r)) << "corrupt key still served";
+  std::ifstream reasons(root + "/quarantine/reasons.log");
+  std::string text((std::istreambuf_iterator<char>(reasons)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("md5 mismatch (scrub)"), std::string::npos) << text;
+}
+
+// Scrubber detection: flip one bit in a journal record — the per-record
+// checksum must reject it.
+TEST(DurableStore, ScrubberDetectsJournalBitFlip) {
+  std::string root = fresh_root("scrubjournal");
+  std::vector<std::uint8_t> jpeg = test_jpeg(24);
+  auto s = open_store(root);
+  ASSERT_TRUE(s->put("victim", {jpeg.data(), jpeg.size()}).acknowledged);
+  {
+    std::string jpath = root + "/journal";
+    std::vector<std::uint8_t> j;
+    ASSERT_TRUE(lepton::util::fileio::read_file(jpath, &j));
+    j[4] ^= 0x01;  // inside the escaped key field
+    std::ofstream out(jpath, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(j.data()),
+              static_cast<std::streamsize>(j.size()));
+  }
+  s->scrub_pass_now();
+  EXPECT_EQ(s->stats().scrub_journal_bad_records, 1u);
+}
+
+// The background thread end-to-end: start, let it run a pass, stop.
+TEST(DurableStore, BackgroundScrubberRunsPassesAndStopsCleanly) {
+  auto s = open_store(fresh_root("scrubthread"));
+  std::vector<std::uint8_t> jpeg = test_jpeg(25);
+  ASSERT_TRUE(s->put("a", {jpeg.data(), jpeg.size()}).acknowledged);
+  ls::ScrubberConfig sc;
+  sc.rate_limit_bytes_per_s = 0;  // unthrottled for the test
+  sc.pass_interval = std::chrono::milliseconds(1);
+  s->start_scrubber(sc);
+  for (int i = 0; i < 200 && s->stats().scrub_passes == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  s->stop_scrubber();
+  ls::DurableStoreStats st = s->stats();
+  EXPECT_GE(st.scrub_passes, 1u);
+  EXPECT_GE(st.scrub_objects_checked, 1u);
+  EXPECT_EQ(st.scrub_corrupt_found, 0u);
+}
+
+// A corrupt object discovered on the serving path (not just by scrub) is
+// quarantined immediately and never returned.
+TEST(DurableStore, GetQuarantinesCorruptObjectInsteadOfServingIt) {
+  std::string root = fresh_root("getcorrupt");
+  std::vector<std::uint8_t> jpeg = test_jpeg(26);
+  auto s = open_store(root);
+  ls::DurablePutStats ps = s->put("victim", {jpeg.data(), jpeg.size()});
+  ASSERT_TRUE(ps.acknowledged);
+  {
+    std::string path = root + "/objects/" + ps.md5_hex.substr(0, 2) + "/" +
+                       ps.md5_hex;
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(lepton::util::fileio::read_file(path, &bytes));
+    bytes[0] ^= 0xff;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  lepton::Result r;
+  ASSERT_TRUE(s->get("victim", &r));  // key known...
+  EXPECT_FALSE(r.ok());               // ...but never served corrupt
+  EXPECT_EQ(r.code, ExitCode::kIoError);
+  EXPECT_TRUE(r.data.empty());
+  EXPECT_EQ(s->stats().get_corrupt_quarantined, 1u);
+  EXPECT_FALSE(s->contains("victim"));
+  // fsck sees the journal record with its object quarantined: acknowledged
+  // data is gone — loss, nonzero-exit material.
+  std::string err;
+  ls::FsckReport rep = ls::DurableStore::fsck(root, &err);
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.lost, 1u);
+}
+
+// fsck on a healthy store reports clean; on a store with an injected torn
+// object it must quarantine and stay ok(); data loss flips ok() to false.
+TEST(DurableStore, FsckClassifiesHealthyTornAndLost) {
+  std::string root = fresh_root("fsck");
+  std::vector<std::uint8_t> a = test_jpeg(27), b = test_jpeg(28);
+  std::string md5_b;
+  {
+    auto s = open_store(root);
+    ASSERT_TRUE(s->put("a", {a.data(), a.size()}).acknowledged);
+    ls::DurablePutStats ps = s->put("b", {b.data(), b.size()});
+    ASSERT_TRUE(ps.acknowledged);
+    md5_b = ps.md5_hex;
+  }
+  std::string err;
+  ls::FsckReport healthy = ls::DurableStore::fsck(root, &err);
+  EXPECT_TRUE(healthy.ok());
+  EXPECT_EQ(healthy.healthy, 2u);
+  EXPECT_EQ(healthy.keys, 2u);
+  // Inject a torn temp: quarantined, still ok().
+  {
+    std::ofstream torn(root + "/objects/" + md5_b.substr(0, 2) +
+                           "/.tmp.deadbeef.1.1",
+                       std::ios::binary);
+    torn << "partial";
+  }
+  ls::FsckReport swept = ls::DurableStore::fsck(root, &err);
+  EXPECT_TRUE(swept.ok());
+  EXPECT_EQ(swept.quarantined, 1u);
+  // Corrupt an acknowledged object: loss, not ok().
+  {
+    std::string path = root + "/objects/" + md5_b.substr(0, 2) + "/" + md5_b;
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(lepton::util::fileio::read_file(path, &bytes));
+    bytes[1] ^= 0x10;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  ls::FsckReport lost = ls::DurableStore::fsck(root, &err);
+  EXPECT_FALSE(lost.ok());
+  EXPECT_EQ(lost.lost, 1u);
+  EXPECT_EQ(lost.healthy, 1u);  // "a" is still fine
+}
+
+}  // namespace
