@@ -71,7 +71,7 @@ StoreRun run_mode(const std::vector<lepton::corpus::CorpusFile>& files,
       auto ps = store->put("k" + std::to_string(i), {d.data(), d.size()});
       if (!ps.acknowledged) std::exit(1);
     }
-    store->sync();
+    if (!store->sync()) std::exit(1);
   });
   r.put_MBps = in_mb / put_s;
 
@@ -82,7 +82,7 @@ StoreRun run_mode(const std::vector<lepton::corpus::CorpusFile>& files,
       auto ps = store->put("dup" + std::to_string(i), {d.data(), d.size()});
       if (!ps.acknowledged || !ps.deduplicated) std::exit(1);
     }
-    store->sync();
+    if (!store->sync()) std::exit(1);
   });
   r.dedup_put_MBps = in_mb / dedup_s;
 

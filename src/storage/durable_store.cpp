@@ -191,8 +191,14 @@ bool DurableStore::quarantine_file(const std::string& rel_dir,
                                    const std::string& name,
                                    const std::string& reason) {
   std::string from = cfg_.root + "/" + rel_dir + "/" + name;
-  std::string to = cfg_.root + "/" + kQuarantineDir + "/" + name + "." +
-                   std::to_string(quarantine_seq_++);
+  // The sequence restarts at 0 on every open and rename() overwrites an
+  // existing destination, so probe until a name no other run has used —
+  // "bytes are NEVER deleted" includes bytes a previous run preserved.
+  std::string to;
+  do {
+    to = cfg_.root + "/" + kQuarantineDir + "/" + name + "." +
+         std::to_string(quarantine_seq_++);
+  } while (::access(to.c_str(), F_OK) == 0);
   // Raw rename: quarantine is repair-side and must not be injectable.
   if (::rename(from.c_str(), to.c_str()) != 0) return false;
   append_reason(cfg_.root, name + " <- " + rel_dir + ": " + reason + "\n");
@@ -419,11 +425,29 @@ DurablePutStats DurableStore::commit(std::string_view key, StorageKind kind,
   std::string final_path = object_path(md5_hex);
 
   // Content-address dedup: the payload may already be committed (possibly
-  // under another key); only the journal record is new then.
-  std::uint64_t existing = 0;
-  bool have_object = file_size(final_path, &existing) &&
-                     existing == payload.size();
-  if (!have_object) {
+  // under another key); only the journal record is new then. Probe via an
+  // opened fd + fstat, not stat-by-path, so the hit is pinned to a real
+  // inode rather than a name a concurrent rename could retarget.
+  bool have_object = false;
+  {
+    int rfd = ::open(final_path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (rfd >= 0) {
+      struct stat st{};
+      have_object = ::fstat(rfd, &st) == 0 && S_ISREG(st.st_mode) &&
+                    static_cast<std::uint64_t>(st.st_size) == payload.size();
+      ::close(rfd);
+    }
+  }
+  if (have_object) {
+    // The existing publish may not be durable yet: a prior put can have
+    // renamed the object and then failed (or not yet reached) the
+    // directory barrier. Acknowledging against it without re-issuing the
+    // barrier would journal a key whose rename can vanish on power loss.
+    if (cfg_.fsync != FsyncMode::kNone) {
+      fio::IoStatus st = fio::sync_dir(dir);
+      if (!st.ok()) return fail(st.err);
+    }
+  } else {
     if (!fio::make_dirs(dir)) return fail(EIO);
     std::uint64_t seq;
     {
@@ -517,9 +541,20 @@ bool DurableStore::get(std::string_view key, Result* out) {
   StoredObject obj;
   obj.kind = e.kind;
   obj.md5_hex = e.md5_hex;
-  if (!fio::read_file(object_path(e.md5_hex), &obj.payload) ||
-      util::Md5::hex_digest({obj.payload.data(), obj.payload.size()}) !=
-          e.md5_hex) {
+  if (!fio::read_file(object_path(e.md5_hex), &obj.payload)) {
+    // A failed open/read is not evidence of corruption — fd exhaustion or
+    // a transient EIO can fail the read while the bytes on disk are
+    // perfectly healthy. Leave the object and the index alone so the key
+    // stays retryable; only a verified md5 mismatch may quarantine.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.get_read_errors;
+    out->code = util::ExitCode::kIoError;
+    out->data.clear();
+    out->message = "stored object could not be read; retryable";
+    return true;
+  }
+  if (util::Md5::hex_digest({obj.payload.data(), obj.payload.size()}) !=
+      e.md5_hex) {
     // Never serve corrupt bytes: quarantine now, report the loss.
     std::lock_guard<std::mutex> lk(mu_);
     if (quarantine_file(std::string(kObjectsDir) + "/" + e.md5_hex.substr(0, 2),
@@ -561,12 +596,16 @@ std::vector<std::string> DurableStore::keys() const {
   return out;
 }
 
-void DurableStore::sync() {
+bool DurableStore::sync() {
   std::lock_guard<std::mutex> lk(mu_);
-  if (journal_fd_ >= 0 && journal_unsynced_ > 0) {
-    ::fsync(journal_fd_);
-    journal_unsynced_ = 0;
-  }
+  if (journal_fd_ < 0 || journal_unsynced_ == 0) return true;
+  // Group commit is part of the commit path, so the barrier is routed
+  // (injectable). On failure the records stay pending — the next batch,
+  // an explicit retry, or close retries them — and the caller hears about
+  // it instead of trusting a sync that never happened.
+  if (!fio::sync_fd(journal_fd_).ok()) return false;
+  journal_unsynced_ = 0;
+  return true;
 }
 
 DurableStoreStats DurableStore::stats() const {
@@ -589,8 +628,16 @@ std::vector<DurableStore::ScrubItem> DurableStore::scrub_snapshot() const {
 std::uint64_t DurableStore::scrub_verify_object(const ScrubItem& item,
                                                 bool decode_check) {
   std::vector<std::uint8_t> bytes;
-  bool good = fio::read_file(object_path(item.md5_hex), &bytes) &&
-              bytes.size() == item.size &&
+  if (!fio::read_file(object_path(item.md5_hex), &bytes)) {
+    // Same rule as get(): a failed read proves nothing about the bytes on
+    // disk. Count it and move on — the next pass (or a get) retries; only
+    // a verified mismatch of successfully-read bytes may quarantine.
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.scrub_objects_checked;
+    ++stats_.scrub_read_errors;
+    return 0;
+  }
+  bool good = bytes.size() == item.size &&
               util::Md5::hex_digest({bytes.data(), bytes.size()}) ==
                   item.md5_hex;
   bool decode_ok = true;

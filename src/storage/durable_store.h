@@ -109,6 +109,9 @@ struct DurableStoreStats {
   std::uint64_t puts_failed_io_error = 0;
   std::uint64_t gets = 0;
   std::uint64_t get_corrupt_quarantined = 0;
+  // Reads that failed outright (open/read error). NOT corruption: the key
+  // stays in the index and the object is untouched — retryable.
+  std::uint64_t get_read_errors = 0;
   // Scrubber counters (zero until start_scrubber; see scrubber.h for the
   // glossary — also docs/OPERATIONS.md §"Durability & recovery").
   std::uint64_t scrub_passes = 0;
@@ -116,6 +119,7 @@ struct DurableStoreStats {
   std::uint64_t scrub_bytes_read = 0;
   std::uint64_t scrub_decode_checks = 0;
   std::uint64_t scrub_corrupt_found = 0;
+  std::uint64_t scrub_read_errors = 0;  // unreadable this pass; not quarantined
   std::uint64_t scrub_journal_bad_records = 0;
   RecoveryReport recovery;  // from this open()
 };
@@ -166,15 +170,19 @@ class DurableStore {
   // Reads the original bytes back. False = key unknown (not an error).
   // True with out->code != kSuccess = the key exists but cannot be served:
   // an on-disk md5 mismatch quarantines the object immediately (kIoError;
-  // corrupt bytes are never returned), and decode-layer failures classify
-  // as TransparentStore::get does.
+  // corrupt bytes are never returned); a failed open/read (fd exhaustion,
+  // transient EIO) is kIoError WITHOUT quarantine — the key stays
+  // retryable, since unread bytes are not evidence of corruption; and
+  // decode-layer failures classify as TransparentStore::get does.
   bool get(std::string_view key, Result* out);
 
   bool contains(std::string_view key) const;
   std::vector<std::string> keys() const;
 
-  // Flushes a batched journal (kBatch) to disk now. No-op otherwise.
-  void sync();
+  // Flushes a batched journal (kBatch) to disk now; no-op (true) otherwise.
+  // False = the fsync failed: the unsynced records stay pending and the
+  // next batch boundary, sync() call, or close retries the barrier.
+  bool sync();
 
   // Background integrity scrubber (scrubber.h): rate-limited md5 re-verify
   // of every object plus decode spot-checks for kLepton objects; corrupt
@@ -208,8 +216,10 @@ class DurableStore {
                          std::span<const std::uint8_t> payload,
                          const std::string& md5_hex, const PutStats& codec);
   bool append_journal_locked(const std::string& record, int* io_err);
-  // Moves objects/<aa>/<name> into quarantine/ with a reason line. Never
-  // deletes bytes. Returns false if the move itself failed (file stays).
+  // Moves objects/<aa>/<name> into quarantine/<name>.<seq> with a reason
+  // line, probing <seq> past any name an earlier run already used. Never
+  // deletes or overwrites bytes. Returns false if the move itself failed
+  // (file stays).
   bool quarantine_file(const std::string& rel_dir, const std::string& name,
                        const std::string& reason);
   void drop_keys_with_md5_locked(const std::string& md5_hex);

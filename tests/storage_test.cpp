@@ -239,6 +239,7 @@ TEST(Thp, DisablingThpFixesTailNotMedian) {
 // absent, quarantined, or fully intact — never half-served.
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <thread>
 
@@ -629,6 +630,159 @@ TEST(DurableStore, FsckClassifiesHealthyTornAndLost) {
   EXPECT_FALSE(lost.ok());
   EXPECT_EQ(lost.lost, 1u);
   EXPECT_EQ(lost.healthy, 1u);  // "a" is still fine
+}
+
+// A failed open/read on the serving path is NOT corruption: the bytes on
+// disk may be healthy (fd exhaustion, transient EIO), so the object must
+// not be quarantined and the key must stay retryable. Simulated by
+// swapping the object file for a directory (open succeeds, read fails),
+// then swapping it back.
+TEST(DurableStore, GetReadFailureIsRetryableNotQuarantined) {
+  std::string root = fresh_root("getreaderr");
+  std::vector<std::uint8_t> jpeg = test_jpeg(29);
+  auto s = open_store(root);
+  ls::DurablePutStats ps = s->put("victim", {jpeg.data(), jpeg.size()});
+  ASSERT_TRUE(ps.acknowledged);
+  std::string path = root + "/objects/" + ps.md5_hex.substr(0, 2) + "/" +
+                     ps.md5_hex;
+  std::string aside = path + ".aside";
+  ASSERT_EQ(std::rename(path.c_str(), aside.c_str()), 0);
+  ASSERT_TRUE(lepton::util::fileio::make_dirs(path));
+
+  lepton::Result r;
+  ASSERT_TRUE(s->get("victim", &r));  // key known...
+  EXPECT_FALSE(r.ok());               // ...but unreadable right now
+  EXPECT_EQ(r.code, ExitCode::kIoError);
+  ls::DurableStoreStats st = s->stats();
+  EXPECT_EQ(st.get_read_errors, 1u);
+  EXPECT_EQ(st.get_corrupt_quarantined, 0u);  // nothing quarantined
+  EXPECT_TRUE(s->contains("victim"));         // key not dropped
+
+  // Once the transient condition clears, the same key serves again.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  ASSERT_EQ(std::rename(aside.c_str(), path.c_str()), 0);
+  ASSERT_TRUE(s->get("victim", &r));
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(r.data, jpeg);
+}
+
+// Same rule for the scrubber: an unreadable object is counted, not
+// quarantined — only a verified mismatch of successfully-read bytes may
+// drop keys.
+TEST(DurableStore, ScrubReadFailureIsNotCorruption) {
+  std::string root = fresh_root("scrubreaderr");
+  std::vector<std::uint8_t> jpeg = test_jpeg(30);
+  auto s = open_store(root);
+  ls::DurablePutStats ps = s->put("victim", {jpeg.data(), jpeg.size()});
+  ASSERT_TRUE(ps.acknowledged);
+  std::string path = root + "/objects/" + ps.md5_hex.substr(0, 2) + "/" +
+                     ps.md5_hex;
+  std::string aside = path + ".aside";
+  ASSERT_EQ(std::rename(path.c_str(), aside.c_str()), 0);
+  ASSERT_TRUE(lepton::util::fileio::make_dirs(path));
+
+  s->scrub_pass_now();
+  ls::DurableStoreStats st = s->stats();
+  EXPECT_EQ(st.scrub_read_errors, 1u);
+  EXPECT_EQ(st.scrub_corrupt_found, 0u);
+  EXPECT_TRUE(s->contains("victim"));
+
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  ASSERT_EQ(std::rename(aside.c_str(), path.c_str()), 0);
+  s->scrub_pass_now();
+  st = s->stats();
+  EXPECT_EQ(st.scrub_read_errors, 1u);  // no new error
+  EXPECT_EQ(st.scrub_corrupt_found, 0u);
+  lepton::Result r;
+  ASSERT_TRUE(s->get("victim", &r));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, jpeg);
+}
+
+// The quarantine sequence restarts at 0 on every open; a second run that
+// quarantines the same object name must probe past the name the first run
+// used instead of rename()-clobbering its preserved bytes.
+TEST(DurableStore, QuarantineNamesNeverClobberAcrossReopens) {
+  std::string root = fresh_root("quarseq");
+  std::vector<std::uint8_t> jpeg = test_jpeg(31);
+  std::string md5;
+  auto corrupt_and_get = [&](ls::DurableStore* s, const char* key,
+                             std::uint8_t flip) {
+    ls::DurablePutStats ps = s->put(key, {jpeg.data(), jpeg.size()});
+    ASSERT_TRUE(ps.acknowledged);
+    md5 = ps.md5_hex;
+    std::string path = root + "/objects/" + md5.substr(0, 2) + "/" + md5;
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(lepton::util::fileio::read_file(path, &bytes));
+    bytes[0] ^= flip;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    lepton::Result r;
+    ASSERT_TRUE(s->get(key, &r));  // quarantines
+    EXPECT_FALSE(r.ok());
+  };
+  {
+    auto s = open_store(root);
+    corrupt_and_get(s.get(), "k1", 0x01);
+  }
+  std::string q0 = root + "/quarantine/" + md5 + ".0";
+  std::vector<std::uint8_t> first_bytes;
+  ASSERT_TRUE(lepton::util::fileio::read_file(q0, &first_bytes));
+  {
+    // Fresh open: quarantine_seq_ is 0 again. Re-put the same content
+    // (same md5, same quarantine name candidate) and corrupt differently.
+    auto s = open_store(root);
+    corrupt_and_get(s.get(), "k2", 0x02);
+  }
+  // Both generations preserved, first one byte-for-byte untouched.
+  std::vector<std::uint8_t> q0_after, q1_bytes;
+  ASSERT_TRUE(lepton::util::fileio::read_file(q0, &q0_after));
+  EXPECT_EQ(q0_after, first_bytes);
+  ASSERT_TRUE(
+      lepton::util::fileio::read_file(root + "/quarantine/" + md5 + ".1",
+                                      &q1_bytes));
+  EXPECT_NE(q1_bytes, first_bytes);
+}
+
+// A failed group-commit fsync must be surfaced, keep the batch pending,
+// and be retryable — not silently reported as synced.
+TEST(DurableStore, SyncSurfacesFsyncFailureAndRetries) {
+  ls::DurableStoreConfig cfg;
+  cfg.root = fresh_root("syncfail");
+  cfg.fsync = ls::FsyncMode::kBatch;
+  cfg.batch_puts = 100;  // never auto-syncs within this test
+  std::string err;
+  auto s = ls::DurableStore::open(std::move(cfg), &err);
+  ASSERT_NE(s, nullptr) << err;
+  std::vector<std::uint8_t> jpeg = test_jpeg(32);
+  ASSERT_TRUE(s->put("a", {jpeg.data(), jpeg.size()}).acknowledged);
+  FailpointGuard fp;
+  ASSERT_TRUE(fp.arm("fs.fsync=err:EIO@once"));
+  EXPECT_FALSE(s->sync());  // injected barrier failure is reported
+  EXPECT_TRUE(s->sync());   // records stayed pending; the retry lands them
+  EXPECT_TRUE(s->sync());   // and a drained journal is a clean no-op
+}
+
+// A dedup hit may ride on a publish whose directory barrier never
+// completed (a prior put that failed between rename and dir-fsync), so the
+// dedup path must re-issue the barrier — and fail the put if it fails —
+// before journaling an acknowledgement against that object.
+TEST(DurableStore, DedupPutFailsWhenDirectoryBarrierFails) {
+  auto s = open_store(fresh_root("dedupbarrier"));
+  std::vector<std::uint8_t> jpeg = test_jpeg(33);
+  ASSERT_TRUE(s->put("a", {jpeg.data(), jpeg.size()}).acknowledged);
+  FailpointGuard fp;
+  ASSERT_TRUE(fp.arm("fs.fsync=err:EIO@once"));
+  ls::DurablePutStats ps = s->put("b", {jpeg.data(), jpeg.size()});
+  EXPECT_FALSE(ps.acknowledged);
+  EXPECT_EQ(ps.code, ExitCode::kIoError);
+  EXPECT_FALSE(s->contains("b"));
+  // Retryable: with the fault cleared the same put dedups and acks.
+  ps = s->put("b", {jpeg.data(), jpeg.size()});
+  EXPECT_TRUE(ps.acknowledged);
+  EXPECT_TRUE(ps.deduplicated);
 }
 
 }  // namespace
