@@ -1,0 +1,157 @@
+// micro_sharded — the sharded fleet store under the §5 replay workload.
+//
+// Drives storage/replay_harness.h: a fig11-ramped backfill across N
+// DurableStore shards, then Zipf-skewed reads (fig05 weekly timestamps)
+// through the decoded-output cache, with a SHUTOFF drill mid-backfill and
+// one shard kill + recovery mid-reads. Every successful read is verified
+// byte-for-byte, so the numbers below only exist if zero acked reads were
+// lost or corrupted. Also measures raw ring-lookup throughput (placement
+// must never show up next to a decode on a profile).
+//
+// Default shape finishes in well under a minute for CI; --full runs the
+// acceptance-scale replay (1M objects / 1.2M reads over 4 shards — the
+// shape the committed pr=10 trajectory entry records). Appends a
+// "bench": "sharded" entry to the BENCH_hotpath.json trajectory.
+//
+// Flags: --full, --out <path>, --pr <n> (default: this PR).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.h"
+#include "storage/hash_ring.h"
+#include "storage/replay_harness.h"
+
+namespace {
+
+constexpr int kCurrentPr = 10;
+
+namespace ls = lepton::storage;
+
+// Placement cost: shard_of over a realistic 8-member, 128-vnode ring.
+double ring_lookup_mops() {
+  ls::HashRing ring;
+  for (int s = 0; s < 8; ++s) ring.add_shard("blockserver-" + std::to_string(s));
+  std::vector<std::string> keys;
+  keys.reserve(4096);
+  for (int k = 0; k < 4096; ++k) {
+    keys.push_back("photos/" + std::to_string(k * 7919) + ".jpg");
+  }
+  // Accumulate ids so the loop cannot be optimized out.
+  volatile long sink = 0;
+  const int kRounds = 200;
+  double s = bench::best_of(3, [&] {
+    long acc = 0;
+    for (int r = 0; r < kRounds; ++r) {
+      for (const std::string& k : keys) acc += ring.shard_of(k);
+    }
+    sink = acc;
+  });
+  (void)sink;
+  return kRounds * keys.size() / s / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = bench::want_full(argc, argv);
+  std::string out_path = "BENCH_hotpath.json";
+  int pr = kCurrentPr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+    if (std::string(argv[i]) == "--pr") pr = std::atoi(argv[i + 1]);
+  }
+
+  ls::ReplayHarnessConfig hc;  // defaults are the acceptance scale
+  if (!full) {
+    hc.objects = 20'000;
+    hc.reads = 60'000;
+    hc.pool = 256;
+    hc.cache_mb = 8;
+    hc.uncached_sample = 1'500;
+    hc.restart_verify_sample = 500;
+  }
+  hc.dir = "/tmp/micro_sharded_" + std::to_string(::getpid());
+  hc.progress = full;  // the full run takes minutes; narrate it
+
+  double ring_mops = ring_lookup_mops();
+  std::printf("micro_sharded: ring lookup %.2f Mops/s (8 shards x 128 vnodes)\n",
+              ring_mops);
+  std::printf(
+      "replay: %llu objects / %llu reads over %d shards (pool %zu, cache "
+      "%zu MB)%s\n\n",
+      static_cast<unsigned long long>(hc.objects),
+      static_cast<unsigned long long>(hc.reads), hc.shards, hc.pool,
+      hc.cache_mb, full ? " [--full]" : "");
+
+  ls::ReplayReport r = ls::run_replay(hc);
+  if (!r.error.empty()) {
+    std::fprintf(stderr, "micro_sharded: FATAL %s\n", r.error.c_str());
+    return 1;
+  }
+
+  std::printf("%-26s %llu\n", "accesses",
+              static_cast<unsigned long long>(r.accesses));
+  std::printf("%-26s %.0f keys/s\n", "backfill", r.backfill_keys_per_s);
+  std::printf("%-26s %llu ok / %llu unavailable / %llu failed / %llu corrupt\n",
+              "reads", static_cast<unsigned long long>(r.reads_ok),
+              static_cast<unsigned long long>(r.reads_unavailable),
+              static_cast<unsigned long long>(r.reads_failed),
+              static_cast<unsigned long long>(r.reads_corrupt));
+  std::printf("%-26s %llu (shard %d killed + recovered)\n", "lost after restart",
+              static_cast<unsigned long long>(r.lost_after_restart),
+              r.killed_shard);
+  std::printf("%-26s %.1f%%\n", "cache hit rate", 100.0 * r.hit_rate);
+  std::printf("%-26s %.1f MB/s\n", "cached read rate", r.cached_MBps);
+  std::printf("%-26s %.1f MB/s\n", "uncached read rate", r.uncached_MBps);
+  std::printf("%-26s %.1fx\n", "cache speedup", r.cache_speedup);
+  if (!r.ok) {
+    std::fprintf(stderr, "\nmicro_sharded: REPLAY FAILED — numbers void\n");
+    return 1;
+  }
+
+  std::vector<std::string> entries =
+      bench::read_trajectory_entries(out_path, pr, "sharded");
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (const auto& e : entries) std::fprintf(out, "%s,\n", e.c_str());
+  std::fprintf(out,
+               "{\n"
+               "  \"pr\": %d,\n"
+               "  \"bench\": \"sharded\",\n"
+               "  \"shards\": %d,\n"
+               "  \"objects\": %llu,\n"
+               "  \"accesses\": %llu,\n"
+               "  \"cache_hit_rate\": %.4f,\n"
+               "  \"cached_read_MBps\": %.2f,\n"
+               "  \"uncached_read_MBps\": %.2f,\n"
+               "  \"cache_speedup\": %.2f,\n"
+               "  \"backfill_keys_per_s\": %.0f,\n"
+               "  \"ring_lookup_Mops\": %.2f,\n"
+               "  \"reads_failed\": %llu,\n"
+               "  \"reads_corrupt\": %llu,\n"
+               "  \"lost_after_restart\": %llu,\n"
+               "  \"shard_killed_and_recovered\": %d,\n"
+               "  \"hardware_concurrency\": %u\n"
+               "}\n"
+               "]\n",
+               pr, hc.shards, static_cast<unsigned long long>(hc.objects),
+               static_cast<unsigned long long>(r.accesses), r.hit_rate,
+               r.cached_MBps, r.uncached_MBps, r.cache_speedup,
+               r.backfill_keys_per_s, ring_mops,
+               static_cast<unsigned long long>(r.reads_failed),
+               static_cast<unsigned long long>(r.reads_corrupt),
+               static_cast<unsigned long long>(r.lost_after_restart),
+               r.killed_shard >= 0 ? 1 : 0, bench::hardware_concurrency());
+  std::fclose(out);
+  std::printf("\nwrote %s (trajectory entry pr=%d bench=sharded, %zu prior "
+              "entries kept)\n",
+              out_path.c_str(), pr, entries.size());
+  return 0;
+}

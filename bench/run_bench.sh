@@ -4,8 +4,10 @@
 # one entry per (PR, bench) pair: micro_hotpath writes "bench": "hotpath"
 # entries (seeded with the PR 1/PR 3 numbers), micro_server writes
 # "bench": "server" entries, micro_store writes "bench": "store" entries
-# (durable-commit throughput at the three fsync levels); a re-run replaces
-# only its own entry. Also runs
+# (durable-commit throughput at the three fsync levels), micro_sharded
+# writes "bench": "sharded" entries (the §5 workload replay over the
+# sharded fleet store — cache hit rate and cached vs uncached read MB/s);
+# a re-run replaces only its own entry. Also runs
 # the encode thread-scaling sweep (Figure 8) so the encode-side pipeline's
 # scaling behaviour is captured alongside the single-thread levers.
 #
@@ -22,12 +24,12 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 if [[ ! -x "$build_dir/micro_hotpath" || ! -x "$build_dir/micro_server" ||
-      ! -x "$build_dir/micro_store" ||
+      ! -x "$build_dir/micro_store" || ! -x "$build_dir/micro_sharded" ||
       ! -x "$build_dir/fig07_decode_speed_threads" ||
       ! -x "$build_dir/fig08_encode_speed_threads" ]]; then
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$build_dir" \
-    --target micro_hotpath micro_server micro_store \
+    --target micro_hotpath micro_server micro_store micro_sharded \
     fig07_decode_speed_threads fig08_encode_speed_threads \
     -j "$(nproc)"
 fi
@@ -43,6 +45,9 @@ echo
 
 echo
 "$build_dir/micro_store" --out "$repo_root/BENCH_hotpath.json" "${pr_args[@]}"
+
+echo
+"$build_dir/micro_sharded" --out "$repo_root/BENCH_hotpath.json" "${pr_args[@]}"
 
 echo
 "$build_dir/fig07_decode_speed_threads" | tee "$build_dir/fig07_decode_speed_threads.txt"

@@ -132,6 +132,8 @@ int main(int argc, char** argv) {
     ec.service.max_body_bytes = cfg.max_body_bytes;
     ec.service.idle_read_timeout =
         std::chrono::milliseconds(cfg.idle_timeout_ms);
+    ec.service.decode_cache_bytes =
+        static_cast<std::size_t>(cfg.decode_cache_mb) << 20;
     ec.service.store = &store;
     plane.event =
         std::make_unique<lepton::leptond::EventServer>(std::move(ec), ctx_p);
@@ -141,6 +143,8 @@ int main(int argc, char** argv) {
     sc.max_in_flight = cfg.max_in_flight;
     sc.max_body_bytes = cfg.max_body_bytes;
     sc.idle_read_timeout = std::chrono::milliseconds(cfg.idle_timeout_ms);
+    sc.decode_cache_bytes =
+        static_cast<std::size_t>(cfg.decode_cache_mb) << 20;
     sc.store = &store;
     plane.thread =
         std::make_unique<lepton::server::LeptonServer>(std::move(sc), ctx_p);

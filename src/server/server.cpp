@@ -19,6 +19,7 @@ ServiceConfig to_service_config(const ServerConfig& cfg) {
   s.store = cfg.store;
   s.encode_opts = cfg.encode_opts;
   s.decode_opts = cfg.decode_opts;
+  s.decode_cache_bytes = cfg.decode_cache_bytes;
   return s;
 }
 

@@ -89,6 +89,10 @@ struct ServerConfig {
   // Options for the per-request sessions.
   EncodeOptions encode_opts;
   DecodeOptions decode_opts;
+
+  // Decoded-output LRU for DECODE requests; 0 = off (see
+  // ServiceConfig::decode_cache_bytes for the full contract).
+  std::size_t decode_cache_bytes = 0;
 };
 
 class LeptonServer {

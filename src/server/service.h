@@ -29,6 +29,7 @@
 #include "lepton/run_control.h"
 #include "lepton/store.h"
 #include "server/protocol.h"
+#include "storage/decode_cache.h"
 #include "util/stats.h"
 
 namespace lepton {
@@ -58,6 +59,16 @@ struct ServiceConfig {
 
   EncodeOptions encode_opts;
   DecodeOptions decode_opts;
+
+  // Decoded-output LRU for the DECODE path (storage/decode_cache.h), byte
+  // budget; 0 (default) disables it. When enabled the request body is
+  // buffered (already bounded by max_body_bytes) and md5'd before any
+  // decode work: a hit streams the cached original and skips the decode
+  // entirely; a miss decodes once and caches the output. The trade is
+  // explicit — misses lose the streamed-decode TTFB since decoding starts
+  // at END, wins come from Zipf-skewed read traffic (ISSUE 10). Counters
+  // surface as decode_cache_* STATS rows (leptonctl stats shows them).
+  std::size_t decode_cache_bytes = 0;
 
   // Plane-specific rows appended to the STATS response (worker counts,
   // open-connection counts — facts only the connection plane knows). Must
@@ -111,6 +122,8 @@ class RequestService {
 
   TransparentStore* store() { return store_; }
   const ServiceConfig& config() const { return cfg_; }
+  // Null unless cfg.decode_cache_bytes > 0.
+  storage::DecodeCache* decode_cache() { return decode_cache_.get(); }
 
   // Installs the owning plane's STATS rows (set once, before the plane
   // starts serving — the callback is invoked from request threads).
@@ -168,6 +181,7 @@ class RequestService {
   CodecContext& ctx_;
   std::unique_ptr<TransparentStore> own_store_;
   TransparentStore* store_ = nullptr;
+  std::unique_ptr<storage::DecodeCache> decode_cache_;
 
   std::atomic<bool> draining_{false};
   std::atomic<bool> cancel_all_{false};

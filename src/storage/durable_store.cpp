@@ -529,7 +529,8 @@ DurablePutStats DurableStore::put_object(std::string_view key,
                 obj.md5_hex, ps);
 }
 
-bool DurableStore::get(std::string_view key, Result* out) {
+bool DurableStore::load_object(std::string_view key, StoredObject* obj,
+                               util::ExitCode* code, std::string* message) {
   Entry e;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -538,22 +539,20 @@ bool DurableStore::get(std::string_view key, Result* out) {
     e = it->second;
     ++stats_.gets;
   }
-  StoredObject obj;
-  obj.kind = e.kind;
-  obj.md5_hex = e.md5_hex;
-  if (!fio::read_file(object_path(e.md5_hex), &obj.payload)) {
+  obj->kind = e.kind;
+  obj->md5_hex = e.md5_hex;
+  if (!fio::read_file(object_path(e.md5_hex), &obj->payload)) {
     // A failed open/read is not evidence of corruption — fd exhaustion or
     // a transient EIO can fail the read while the bytes on disk are
     // perfectly healthy. Leave the object and the index alone so the key
     // stays retryable; only a verified md5 mismatch may quarantine.
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.get_read_errors;
-    out->code = util::ExitCode::kIoError;
-    out->data.clear();
-    out->message = "stored object could not be read; retryable";
+    *code = util::ExitCode::kIoError;
+    *message = "stored object could not be read; retryable";
     return true;
   }
-  if (util::Md5::hex_digest({obj.payload.data(), obj.payload.size()}) !=
+  if (util::Md5::hex_digest({obj->payload.data(), obj->payload.size()}) !=
       e.md5_hex) {
     // Never serve corrupt bytes: quarantine now, report the loss.
     std::lock_guard<std::mutex> lk(mu_);
@@ -562,14 +561,48 @@ bool DurableStore::get(std::string_view key, Result* out) {
     }
     drop_keys_with_md5_locked(e.md5_hex);
     ++stats_.get_corrupt_quarantined;
-    out->code = util::ExitCode::kIoError;
+    *code = util::ExitCode::kIoError;
+    *message = "stored object failed integrity check; quarantined";
+    return true;
+  }
+  *code = util::ExitCode::kSuccess;
+  return true;
+}
+
+bool DurableStore::get(std::string_view key, Result* out) {
+  StoredObject obj;
+  util::ExitCode code = util::ExitCode::kSuccess;
+  std::string message;
+  if (!load_object(key, &obj, &code, &message)) return false;
+  if (code != util::ExitCode::kSuccess) {
+    out->code = code;
     out->data.clear();
-    out->message = "stored object failed integrity check; quarantined";
+    out->message = std::move(message);
     return true;
   }
   // The codec-layer get re-checks md5 (cheap, and preserves the §5.7
   // posture that consumption facts are part of correctness for kLepton).
   *out = codec_store_.get(obj);
+  return true;
+}
+
+bool DurableStore::get_object(std::string_view key, StoredObject* out,
+                              util::ExitCode* code) {
+  util::ExitCode c = util::ExitCode::kSuccess;
+  std::string message;
+  if (!load_object(key, out, &c, &message)) return false;
+  if (code != nullptr) *code = c;
+  return true;
+}
+
+bool DurableStore::lookup(std::string_view key, StorageKind* kind,
+                          std::string* md5_hex, std::uint64_t* size) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (kind != nullptr) *kind = it->second.kind;
+  if (md5_hex != nullptr) *md5_hex = it->second.md5_hex;
+  if (size != nullptr) *size = it->second.size;
   return true;
 }
 
@@ -594,6 +627,11 @@ std::vector<std::string> DurableStore::keys() const {
   out.reserve(index_.size());
   for (const auto& [k, e] : index_) out.push_back(k);
   return out;
+}
+
+std::size_t DurableStore::key_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.size();
 }
 
 bool DurableStore::sync() {

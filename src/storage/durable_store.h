@@ -176,8 +176,23 @@ class DurableStore {
   // decode-layer failures classify as TransparentStore::get does.
   bool get(std::string_view key, Result* out);
 
+  // Reads the stored container behind a key — payload + kind + md5, no
+  // decode. The shard-migration path (storage/sharded_store.h) moves
+  // objects between shards at rest with this. Same contract as get():
+  // false = key unknown; true with *code != kSuccess = the key exists but
+  // the object is unreadable (retryable) or failed its md5 (quarantined).
+  bool get_object(std::string_view key, StoredObject* out,
+                  util::ExitCode* code = nullptr);
+
+  // Index peek: the content address (and kind/size) behind a key, without
+  // touching disk. The sharded store keys its decode cache off this md5.
+  // False = key unknown. Out-params may be null.
+  bool lookup(std::string_view key, StorageKind* kind, std::string* md5_hex,
+              std::uint64_t* size) const;
+
   bool contains(std::string_view key) const;
   std::vector<std::string> keys() const;
+  std::size_t key_count() const;
 
   // Flushes a batched journal (kBatch) to disk now; no-op (true) otherwise.
   // False = the fsync failed: the unsynced records stay pending and the
@@ -194,6 +209,13 @@ class DurableStore {
 
   DurableStoreStats stats() const;
   const std::string& root() const { return cfg_.root; }
+
+  // The codec-policy layer under this store — exposed so a fleet-fronting
+  // caller can convert remotely against the same admission gate
+  // (FleetClient::put takes the TransparentStore) and so SHUTOFF drills
+  // reach every shard's switch.
+  TransparentStore& codec() { return codec_store_; }
+  const TransparentStore& codec() const { return codec_store_; }
 
   // Offline check of an existing store directory: runs the same recovery
   // pass (sweeping temps, quarantining orphans/corruption) plus a full
@@ -212,6 +234,10 @@ class DurableStore {
   DurableStore(DurableStoreConfig cfg);
 
   bool recover(std::string* err);
+  // Shared read path under get()/get_object(): index lookup, payload read,
+  // md5 verify (mismatch quarantines). False = key unknown.
+  bool load_object(std::string_view key, StoredObject* obj,
+                   util::ExitCode* code, std::string* message);
   DurablePutStats commit(std::string_view key, StorageKind kind,
                          std::span<const std::uint8_t> payload,
                          const std::string& md5_hex, const PutStats& codec);

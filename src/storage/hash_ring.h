@@ -1,0 +1,79 @@
+// Consistent-hash ring (ISSUE 10) — deterministic key→shard placement for
+// the sharded fleet store.
+//
+// Each shard contributes `vnodes` points to a 64-bit ring; a point is a
+// pure hash of (seed, shard name, vnode index), so placement is a function
+// of the membership *set* alone — no RNG state, no insertion-order
+// dependence, identical across process restarts. A key routes to the owner
+// of the first point clockwise from hash(seed, key).
+//
+// Invariants the property tests (tests/sharded_test.cpp) pin down:
+//   * determinism: two rings with the same seed and the same membership set
+//     (regardless of the add/remove history that produced it) map every key
+//     identically;
+//   * minimal remap: adding a shard moves keys only TO the new shard
+//     (expected fraction ≈ 1/N); removing a shard moves only the keys it
+//     owned (fraction ≈ 1/N) — everything else stays put;
+//   * uniformity: with ~1k virtual nodes per shard the max/mean distinct-key
+//     load stays within a small constant of 1.
+//
+// Shard identifiers are small stable ints handed out by add_shard() and
+// never reused while the ring lives, so callers can index side tables by id
+// across membership changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lepton::storage {
+
+struct HashRingConfig {
+  int vnodes = 128;           // points per shard
+  std::uint64_t seed = 1017;  // placement salt (pr 10, issue 17... just stable)
+};
+
+class HashRing {
+ public:
+  explicit HashRing(HashRingConfig cfg = {});
+
+  // Adds a shard under `name`; returns its stable id, or -1 if the name is
+  // already a member. Ids are dense on a fresh ring (0, 1, 2, ...) and
+  // never recycled after a remove.
+  int add_shard(std::string_view name);
+  // Removes a member by name. Its points leave the ring; every other
+  // shard's points are untouched (this is what makes remap minimal).
+  bool remove_shard(std::string_view name);
+
+  // Stable id of the shard owning `key`, or -1 on an empty ring.
+  int shard_of(std::string_view key) const;
+
+  bool contains(std::string_view name) const;
+  int id_of(std::string_view name) const;              // -1 if absent
+  const std::string& name_of(int id) const;            // "" if retired
+  std::size_t size() const { return live_; }           // live members
+  std::size_t points() const { return points_.size(); }
+
+  // Names of live members, in id order (tests, stats tables).
+  std::vector<std::string> members() const;
+
+  // The raw 64-bit position of a key on the ring — exposed so tests can
+  // reason about arcs directly.
+  std::uint64_t key_point(std::string_view key) const;
+
+ private:
+  struct Point {
+    std::uint64_t h;
+    int id;
+  };
+
+  std::uint64_t shard_point(std::string_view name, int vnode) const;
+
+  HashRingConfig cfg_;
+  std::vector<Point> points_;       // sorted by h (ties broken by id)
+  std::vector<std::string> names_;  // id → name; "" marks a retired id
+  std::size_t live_ = 0;
+};
+
+}  // namespace lepton::storage

@@ -238,6 +238,7 @@ TEST(Thp, DisablingThpFixesTailNotMedian) {
 // invariant: acknowledged => readable byte-identical; unacknowledged =>
 // absent, quarantined, or fully intact — never half-served.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -763,6 +764,63 @@ TEST(DurableStore, SyncSurfacesFsyncFailureAndRetries) {
   EXPECT_FALSE(s->sync());  // injected barrier failure is reported
   EXPECT_TRUE(s->sync());   // records stayed pending; the retry lands them
   EXPECT_TRUE(s->sync());   // and a drained journal is a clean no-op
+}
+
+// PR 9 shipped the scrubber without a test that races it against the
+// serving path. Readers hammer get() on the same keys the scrubber is
+// re-verifying (tiny pass interval, decode spot-check on every Lepton
+// object, no rate limit) while a writer keeps adding keys; every read must
+// come back byte-identical and no counter may tear. CI runs this suite
+// under TSan — the interleaving itself is the assertion there.
+TEST(DurableStore, GetRacesBackgroundScrubberCleanly) {
+  auto s = open_store(fresh_root("scrubrace"));
+  const int kKeys = 6;
+  std::vector<std::vector<std::uint8_t>> content;
+  for (int k = 0; k < kKeys; ++k) {
+    content.push_back(test_jpeg(40 + static_cast<std::uint64_t>(k)));
+    ASSERT_TRUE(s->put("race" + std::to_string(k),
+                       {content[k].data(), content[k].size()})
+                    .acknowledged);
+  }
+  ls::ScrubberConfig sc;
+  sc.rate_limit_bytes_per_s = 0;
+  sc.pass_interval = std::chrono::milliseconds(1);
+  sc.decode_check_every = 1;
+  s->start_scrubber(sc);
+
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 120; ++i) {
+        int k = i % kKeys;
+        lepton::Result r;
+        if (!s->get("race" + std::to_string(k), &r) || !r.ok() ||
+            r.data != content[k]) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Concurrent puts: the scrubber snapshots the index while it mutates.
+  for (int k = kKeys; k < kKeys + 4; ++k) {
+    std::vector<std::uint8_t> jpeg =
+        test_jpeg(40 + static_cast<std::uint64_t>(k));
+    ASSERT_TRUE(s->put("race" + std::to_string(k), {jpeg.data(), jpeg.size()})
+                    .acknowledged);
+  }
+  for (auto& t : readers) t.join();
+  // Let at least one full pass overlap the reads before stopping.
+  for (int i = 0; i < 200 && s->stats().scrub_passes < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  s->stop_scrubber();
+  EXPECT_EQ(bad.load(), 0u) << "a read raced the scrubber into wrong bytes";
+  ls::DurableStoreStats st = s->stats();
+  EXPECT_GE(st.scrub_passes, 1u);
+  EXPECT_GT(st.scrub_decode_checks, 0u);
+  EXPECT_EQ(st.scrub_corrupt_found, 0u);
+  EXPECT_EQ(st.get_corrupt_quarantined, 0u);
 }
 
 // A dedup hit may ride on a publish whose directory barrier never
